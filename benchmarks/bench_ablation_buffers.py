@@ -1,0 +1,60 @@
+"""Ablation: slice-buffer and store-buffer capacity (DESIGN.md §4).
+
+Table 1 sizes both structures at 128 entries.  Undersizing them forces
+iCFP into its simple-runahead fallback (Section 3.4), which commits
+nothing — so performance should degrade gracefully as capacity shrinks
+and saturate near the paper's sizes.
+"""
+
+import dataclasses
+
+from repro.core.icfp import ICFPFeatures
+from repro.harness import ExperimentConfig, geomean, run_suite
+
+WORKLOADS = ("mcf_like", "ammp_like", "art_like", "twolf_like")
+
+
+def ratios_for(features, workloads=WORKLOADS, instructions=6000):
+    base = ExperimentConfig(instructions=instructions)
+    io = run_suite(("in-order",), workloads, base)
+    cfg = dataclasses.replace(base, icfp_features=features)
+    runs = run_suite(("icfp",), workloads, cfg)
+    return geomean(
+        io[w]["in-order"].cycles / runs[w]["icfp"].cycles for w in workloads
+    )
+
+
+def test_slice_buffer_capacity_ablation(once):
+    def sweep():
+        return {
+            entries: ratios_for(ICFPFeatures(slice_entries=entries))
+            for entries in (16, 64, 128)
+        }
+
+    results = once(sweep)
+    print("\nslice-buffer capacity ablation (geomean speedup vs in-order):")
+    for entries, ratio in results.items():
+        print(f"  {entries:4d} entries: {ratio:6.3f}x")
+
+    # Bigger never hurts materially, and 128 beats a starved 16.
+    assert results[128] >= results[16] - 0.02
+    assert results[64] >= results[16] - 0.02
+
+
+def test_store_buffer_capacity_ablation(once):
+    workloads = ("swim_like", "galgel_like", "equake_like")
+
+    def sweep():
+        return {
+            entries: ratios_for(
+                ICFPFeatures(store_buffer_entries=entries),
+                workloads=workloads,
+            )
+            for entries in (16, 128)
+        }
+
+    results = once(sweep)
+    print("\nstore-buffer capacity ablation (geomean speedup vs in-order):")
+    for entries, ratio in results.items():
+        print(f"  {entries:4d} entries: {ratio:6.3f}x")
+    assert results[128] >= results[16] - 0.02

@@ -1,0 +1,34 @@
+"""Section 5.3: area overheads of the four schemes at 45 nm.
+
+The analytical model (CACTI substitute) must land near the paper's
+numbers — Runahead 0.12, Multipass 0.22, SLTP 0.36, iCFP 0.26 mm^2 —
+and preserve the orderings the paper argues from: iCFP costs less than
+SLTP while outperforming it, and all overheads are small against a
+4-8 mm^2 two-way in-order core.
+"""
+
+from repro.area import (
+    CORE_AREA_RANGE_MM2,
+    PAPER_AREA_MM2,
+    overhead_fraction_of_core,
+    scheme_area,
+)
+from repro.harness import format_area_table
+
+
+def test_area_overheads(once):
+    table = once(format_area_table)
+    print("\n" + table)
+
+    for scheme, paper in PAPER_AREA_MM2.items():
+        model = scheme_area(scheme)
+        assert abs(model - paper) / paper < 0.15, (scheme, model, paper)
+
+    # Orderings the paper argues from.
+    assert scheme_area("runahead") < scheme_area("multipass")
+    assert scheme_area("icfp") < scheme_area("sltp")
+
+    # Small relative to the core (4-8 mm^2).
+    lo, hi = CORE_AREA_RANGE_MM2
+    for scheme in PAPER_AREA_MM2:
+        assert overhead_fraction_of_core(scheme, lo) < 0.10

@@ -1,0 +1,26 @@
+"""Section 3.2 / 5.2: chain-table sizing.
+
+The paper: "A 64-entry chain table reduces performance — relative to a
+512-entry table — by 0.3% on average with a maximum of 4% (ammp)."
+Asserts the small table stays within a few percent of the large one.
+"""
+
+from repro.harness import chain_table_sweep, format_sweep
+
+WORKLOADS = ("ammp_like", "swim_like", "galgel_like", "bzip2_like",
+             "gzip_like", "equake_like")
+
+
+def test_chain_table_sizing(once):
+    sweep = once(lambda: chain_table_sweep(sizes=(64, 512),
+                                           workloads=WORKLOADS))
+    print("\n" + format_sweep(sweep, reference=512))
+
+    rel = sweep.relative_to(512)
+    # 64 entries within a few percent of 512 on average...
+    assert rel[64] > -3.0
+    # ...and within ~6% on every individual benchmark.
+    per64, per512 = sweep.ratios[64], sweep.ratios[512]
+    for workload in WORKLOADS:
+        loss = (per64[workload] / per512[workload] - 1.0) * 100.0
+        assert loss > -6.0, (workload, loss)

@@ -1,0 +1,47 @@
+"""Figure 1: the six miss scenarios, timed per machine model.
+
+Regenerates the paper's qualitative timeline arguments as cycle counts
+and asserts each scenario's ordering claim.
+"""
+
+from repro.harness import MODELS, run_all_scenarios
+from repro.harness.scenarios import SCENARIOS
+
+
+def test_figure1_scenarios(once):
+    results = once(run_all_scenarios)
+
+    header = f"{'scenario':44s} " + " ".join(f"{m:>10s}" for m in MODELS)
+    print("\n" + header)
+    for key, cycles in results.items():
+        title = SCENARIOS[key]().title
+        print(f"(1{key}) {title:39s} "
+              + " ".join(f"{cycles[m]:10d}" for m in MODELS))
+
+    a, b, c = results["a"], results["b"], results["c"]
+    d, e, f = results["d"], results["e"], results["f"]
+
+    # (1a) lone miss: Runahead provides no benefit; SLTP/iCFP do.
+    assert a["runahead"] >= a["in-order"] - 10
+    assert a["icfp"] < a["in-order"] - 30
+    assert a["sltp"] < a["in-order"] - 30
+
+    # (1b) independent misses: every scheme overlaps them.
+    for model in ("runahead", "multipass", "sltp", "icfp"):
+        assert b[model] < b["in-order"] - 100
+
+    # (1c) dependent misses: RA ineffective, iCFP at least as good as SLTP.
+    assert abs(c["runahead"] - c["in-order"]) < 80
+    assert c["icfp"] <= c["sltp"] + 10
+    assert c["icfp"] < c["in-order"] - 50
+
+    # (1d) chains: RA overlaps the chains; iCFP no worse than RA.
+    assert d["runahead"] < d["in-order"] - 100
+    assert d["icfp"] <= d["runahead"] + 30
+
+    # (1e)/(1f): secondary D$ misses under an L2 miss — iCFP handles
+    # both patterns without the block-vs-poison dilemma.
+    assert e["icfp"] < e["in-order"] - 100
+    assert f["icfp"] < f["in-order"] - 50
+    assert e["icfp"] <= e["runahead"] + 10
+    assert f["icfp"] <= f["runahead"] + 10

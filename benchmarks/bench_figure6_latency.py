@@ -1,0 +1,48 @@
+"""Figure 6: speedup sensitivity to L2 hit latency.
+
+Sweeps the L2 hit latency over the six Figure 6 configurations and
+asserts the paper's two findings:
+
+* at every latency, iCFP advancing on *all* misses at least matches
+  iCFP advancing on L2 misses only ("advancing on any data miss is
+  profitable at virtually any L2 hit latency");
+* Runahead configurations that advance under data-cache misses gain
+  relative attractiveness as the L2 slows.
+
+The paper plots equake and the SPEC mean; a representative kernel
+subset keeps the sweep tractable (4 latencies x 6 configs x kernels).
+"""
+
+from repro.harness import figure6, format_figure6
+
+SWEEP_WORKLOADS = ("equake_like", "art_like", "gap_like", "apsi_like",
+                   "gzip_like", "twolf_like")
+LATENCIES = (10, 20, 35, 50)
+
+
+def test_figure6_latency_sensitivity(once):
+    fig = once(lambda: figure6(latencies=LATENCIES,
+                               workloads=SWEEP_WORKLOADS))
+    print("\n" + format_figure6(fig))
+
+    # iCFP-all >= iCFP-L2 across the sweep.
+    for latency in LATENCIES:
+        assert (fig.percent["iCFP-all"][latency]
+                >= fig.percent["iCFP-L2"][latency] - 1.0), latency
+
+    # iCFP-all beats every Runahead configuration at every latency.
+    for latency in LATENCIES:
+        for ra in ("RA-L2", "RA-L2/D$pri", "RA-all"):
+            assert (fig.percent["iCFP-all"][latency]
+                    >= fig.percent[ra][latency] - 1.0), (latency, ra)
+
+    # The in-order reference degrades monotonically as the L2 slows.
+    io = fig.percent["in-order"]
+    assert io[10] > io[20] > io[35] > io[50]
+
+    # Advancing under D$ misses helps RA more at slow L2s than fast ones.
+    gap_fast = (fig.percent["RA-L2/D$pri"][LATENCIES[0]]
+                - fig.percent["RA-L2"][LATENCIES[0]])
+    gap_slow = (fig.percent["RA-L2/D$pri"][LATENCIES[-1]]
+                - fig.percent["RA-L2"][LATENCIES[-1]])
+    assert gap_slow >= gap_fast - 2.0

@@ -1,0 +1,35 @@
+"""Figure 7: the iCFP feature build from SLTP.
+
+Walks the paper's ladder — SLTP's SRL memory system, then the chained
+store buffer, then multiple non-blocking rallies, then 8-bit poison
+vectors, then multithreaded rallies — and asserts that the build is
+(geomean) monotone and that non-blocking rallies are the big step for
+dependent-miss workloads.
+"""
+
+from repro.harness import figure7, format_figure7
+from repro.harness.figures import FIGURE7_BARS
+
+
+def test_figure7_feature_build(once):
+    fig = once(figure7)
+    print("\n" + format_figure7(fig))
+
+    bars = [b[0] for b in FIGURE7_BARS]
+    gmeans = [fig.percent[b]["gmean"] for b in bars]
+
+    # The full build (iCFP) beats the SLTP starting point decisively.
+    assert gmeans[-1] > gmeans[0] + 3.0
+
+    # Each feature is roughly monotone in the geomean (small regressions
+    # within noise are tolerated, as in the paper's build).
+    for earlier, later in zip(gmeans, gmeans[1:]):
+        assert later >= earlier - 2.0
+
+    # Non-blocking rallies are the load-bearing feature for the
+    # dependent-miss workloads (mcf/vpr), per the paper.
+    blocking, nonblocking = bars[1], bars[2]
+    for workload in ("mcf_like", "vpr_like"):
+        if workload in fig.workloads:
+            assert (fig.percent[nonblocking][workload]
+                    >= fig.percent[blocking][workload] - 1.0), workload

@@ -1,0 +1,32 @@
+"""Figure 8: store-buffer access disciplines.
+
+Compares indexed-limited-forwarding, address-hash chaining, and an
+idealised fully-associative search inside iCFP, asserting the paper's
+findings: chaining closely tracks the associative ideal (<1% per
+benchmark in the paper; we allow a slightly wider band), and the
+indexed/limited scheme trails, while excess chain hops per load stay
+low (<0.5 everywhere, <0.05 for most benchmarks).
+"""
+
+from repro.harness import figure8, format_figure8
+from repro.harness.figures import FIGURE8_KINDS
+
+
+def test_figure8_store_buffer(once):
+    fig = once(figure8)
+    print("\n" + format_figure8(fig))
+
+    indexed, chained, assoc = (k[0] for k in FIGURE8_KINDS)
+
+    # Chaining tracks the fully-associative ideal closely.
+    for workload in list(fig.workloads) + ["gmean"]:
+        delta = fig.percent[assoc][workload] - fig.percent[chained][workload]
+        assert delta < 5.0, (workload, delta)
+
+    # The indexed/limited-forwarding scheme never beats chaining (gmean).
+    assert fig.percent[chained]["gmean"] >= fig.percent[indexed]["gmean"] - 1.0
+
+    # Excess store-buffer hops per load stay small (Section 3.2).
+    assert all(h < 0.5 for h in fig.hops_per_load.values())
+    low = sum(1 for h in fig.hops_per_load.values() if h < 0.05)
+    assert low >= len(fig.hops_per_load) // 2

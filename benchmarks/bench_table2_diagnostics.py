@@ -1,0 +1,37 @@
+"""Table 2: per-benchmark miss rates, MLP, and iCFP rally overhead.
+
+Asserts the table's structural claims:
+
+* the suite's miss-rate spread brackets the paper's (mcf/art extreme,
+  a near-zero compute group);
+* iCFP's MLP is at least Runahead's, which is at least in-order's, on
+  the kernels with exploitable parallelism;
+* iCFP's rally overhead is largest on the dependent-miss chaser (mcf).
+"""
+
+from repro.harness import format_table2, table2
+
+
+def test_table2_diagnostics(once):
+    rows = once(table2)
+    print("\n" + format_table2(rows))
+    by_name = {r.workload: r for r in rows}
+
+    mcf = by_name["mcf_like"]
+    assert mcf.d_miss_per_ki > 100 and mcf.l2_miss_per_ki > 50
+    assert by_name["art_like"].d_miss_per_ki > 80
+    for cool in ("mesa_like", "vortex_like"):
+        assert by_name[cool].d_miss_per_ki < 8
+
+    # MLP ordering (iO <= RA <= iCFP within tolerance) on MLP-rich kernels.
+    for name in ("art_like", "gap_like", "mcf_like"):
+        row = by_name[name]
+        io, ra, icfp = (row.d_mlp["in-order"], row.d_mlp["runahead"],
+                        row.d_mlp["icfp"])
+        assert icfp >= io - 0.1, name
+        assert icfp >= ra - 0.5, name
+
+    # Rally overhead concentrates on dependent-miss workloads.
+    assert mcf.rally_per_ki == max(r.rally_per_ki for r in rows)
+    assert mcf.rally_per_ki > 100
+    assert by_name["mesa_like"].rally_per_ki < 50

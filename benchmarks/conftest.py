@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures.  They are *not*
+micro-benchmarks: each runs a full simulation campaign once (pedantic
+mode, one round) and prints the paper-format table, then asserts the
+paper's qualitative claims (who wins, roughly by how much).
+
+Budgets come from the environment:
+
+* ``REPRO_INSTRUCTIONS`` — dynamic instructions per kernel (default 6000)
+* ``REPRO_WORKLOADS``    — comma-separated kernel subset
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Dependent-miss study on the mcf-like kernel.
+
+mcf is the paper's canonical dependent-miss workload: a pointer chain
+whose every link misses, with independent arc-array work between links.
+This example runs the kernel across the models and prints the
+diagnostics the paper reports in Table 2 — miss rates, achieved MLP,
+and iCFP's rally overhead (mcf re-executes >1000 instructions per 1000
+committed because every chain link triggers another rally pass).
+
+Run:  python examples/pointer_chase_study.py
+"""
+
+from repro.harness import MODELS, ExperimentConfig, make_core
+from repro.workloads import trace_by_name
+
+
+def main():
+    config = ExperimentConfig(instructions=10_000)
+    trace = trace_by_name("mcf_like", instructions=config.instructions)
+    print(f"mcf_like: {len(trace)} instructions, {trace.num_loads} loads, "
+          f"{trace.mem_footprint_lines()} distinct lines touched\n")
+
+    print(f"{'model':12s} {'cycles':>9s} {'IPC':>6s} {'speedup':>8s} "
+          f"{'D$ MLP':>7s} {'L2 MLP':>7s} {'rally/KI':>9s}")
+    baseline = None
+    for model in MODELS:
+        core = make_core(model, trace, config)
+        result = core.run()
+        if baseline is None:
+            baseline = result.cycles
+        stats = result.stats
+        print(f"{model:12s} {result.cycles:9d} {result.ipc:6.3f} "
+              f"{baseline / result.cycles:7.2f}x "
+              f"{stats.d_mlp.average():7.2f} {stats.l2_mlp.average():7.2f} "
+              f"{stats.rallies_per_ki():9.0f}")
+
+    print("\nWhat to look for:")
+    print(" * in-order/Runahead serialise the chain: MLP stays near the")
+    print("   number of independent arc misses they can expose.")
+    print(" * iCFP's rally/KI exceeds 0 — every chain link that returns")
+    print("   triggers another pass over the slice buffer, exactly the")
+    print("   multi-pass behaviour of Section 3.1 (Table 2 reports 2876")
+    print("   rallies/KI for real mcf).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, run it on all five machine models.
+
+The program is a pointer chase with independent "payload" work — the
+pattern iCFP is built for: the chain's cache misses serialise a vanilla
+in-order pipeline, while iCFP slices the chain out and keeps committing
+the independent work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.functional import run_program
+from repro.harness import MODELS, ExperimentConfig, make_core
+from repro.isa import Assembler, R
+
+
+def build_program():
+    """A linked-list sum: chase 64 nodes scattered over cold lines,
+    accumulating payloads and doing independent strided work."""
+    a = Assembler("quickstart")
+    import random
+
+    rng = random.Random(42)
+    nodes = list(range(64))
+    rng.shuffle(nodes)
+    base = 0x100000
+    ring = [base + n * 0x4000 for n in nodes]  # one node per cold line
+    for pos, addr in enumerate(ring):
+        a.word(addr, ring[(pos + 1) % len(ring)])   # next pointer
+        a.word(addr + 8, pos)                       # payload
+    for i in range(4 * 64):
+        a.word(0x800000 + i * 64, i)    # independent array: cold lines
+
+    a.li(R.r1, ring[0])       # chain cursor
+    a.li(R.r2, 64)            # trip count
+    a.li(R.r3, 0)             # payload sum
+    a.li(R.r10, 0x800000)     # independent array cursor
+    a.label("loop")
+    a.ld(R.r4, R.r1, 8)       # payload (depends on the chain)
+    a.add(R.r3, R.r3, R.r4)
+    for k in range(2):        # independent cold loads + immediate uses:
+        a.ld(R.r11, R.r10, k * 64)     # an in-order pipe stalls here,
+        a.add(R.r12, R.r12, R.r11)     # a non-blocking one flows on
+    a.addi(R.r10, R.r10, 2 * 64)
+    a.ld(R.r1, R.r1, 0)       # next pointer: the dependent miss
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "loop")
+    a.halt()
+    return a.assemble()
+
+
+def main():
+    program = build_program()
+    trace = run_program(program)
+    print(f"program: {program.name}, {len(trace)} dynamic instructions, "
+          f"{trace.num_loads} loads\n")
+
+    config = ExperimentConfig(warm=False)  # cold caches: every node misses
+    baseline_cycles = None
+    print(f"{'model':12s} {'cycles':>8s} {'IPC':>6s} {'speedup':>8s}")
+    for model in MODELS:
+        result = make_core(model, trace, config).run()
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles
+        speedup = baseline_cycles / result.cycles
+        print(f"{model:12s} {result.cycles:8d} {result.ipc:6.3f} "
+              f"{speedup:7.2f}x")
+
+    print("\nThe dependent chain bounds everyone, but iCFP commits the")
+    print("independent work under every miss and re-executes only the")
+    print("slice, so it comes out ahead of Runahead/Multipass (which")
+    print("re-execute everything) and SLTP (whose rallies block).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""iCFP: Tolerating All-Level Cache Misses in In-Order Processors.
+
+A from-scratch reproduction of Hilton, Nagarakatte & Roth (HPCA 2009).
+
+Public API tour
+---------------
+* :mod:`repro.isa` — the reproduction ISA and assembler.
+* :mod:`repro.functional` — golden-reference execution, dynamic traces.
+* :mod:`repro.memory` / :mod:`repro.branch` / :mod:`repro.pipeline` /
+  :mod:`repro.engine` — the in-order machine substrate.
+* :mod:`repro.core` — the paper's contribution: the iCFP engine and its
+  mechanisms (poison vectors, sequence-numbered register file, slice
+  buffer, chained store buffer, load signature).
+* :mod:`repro.baselines` — in-order, Runahead, Multipass, SLTP.
+* :mod:`repro.workloads` — the 24-kernel SPEC2000 stand-in suite.
+* :mod:`repro.harness` — experiment runners for every table and figure.
+* :mod:`repro.area` — the Section 5.3 area model.
+
+Quick start::
+
+    from repro.functional import run_program
+    from repro.harness import ExperimentConfig, make_core
+    from repro.workloads import trace_by_name
+
+    trace = trace_by_name("mcf_like", instructions=10_000)
+    core = make_core("icfp", trace, ExperimentConfig())
+    print(core.run())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "isa",
+    "functional",
+    "memory",
+    "branch",
+    "pipeline",
+    "engine",
+    "core",
+    "baselines",
+    "workloads",
+    "harness",
+    "area",
+]

@@ -1,0 +1,25 @@
+"""Analytical area model (Section 5.3)."""
+
+from .model import (
+    BIT_AREA,
+    CORE_AREA_RANGE_MM2,
+    PAPER_AREA_MM2,
+    SCHEMES,
+    Structure,
+    area_overheads,
+    overhead_fraction_of_core,
+    port_factor,
+    scheme_area,
+)
+
+__all__ = [
+    "Structure",
+    "SCHEMES",
+    "BIT_AREA",
+    "PAPER_AREA_MM2",
+    "CORE_AREA_RANGE_MM2",
+    "scheme_area",
+    "area_overheads",
+    "overhead_fraction_of_core",
+    "port_factor",
+]

@@ -1,0 +1,16 @@
+"""Baseline microarchitectures the paper compares against."""
+
+from .inorder import InOrderCore
+from .multipass import MultipassCore
+from .runahead import RunaheadCore
+from .runahead_cache import RunaheadCache
+from .sltp import SLTPCore, sltp_features
+
+__all__ = [
+    "InOrderCore",
+    "RunaheadCore",
+    "RunaheadCache",
+    "MultipassCore",
+    "SLTPCore",
+    "sltp_features",
+]

@@ -1,0 +1,100 @@
+""""Flea-flicker" Multipass pipelining (Barnes, Ryoo & Hwu, MICRO 2005).
+
+Multipass extends Runahead with a *result buffer*: advance passes save
+the results of miss-independent instructions, and later passes over the
+same region reuse them — a reused instruction's consumers need not wait
+on its latency, so each pass runs faster ("breaking data-dependences
+and increasing ILP").  Unlike SLTP/iCFP, every post-miss instruction is
+still re-processed on every pass; reuse accelerates but does not skip.
+
+Configuration per Section 5.1: advances under all L2 misses and under
+*primary* data-cache misses; blocks on secondary data-cache misses.
+"""
+
+from __future__ import annotations
+
+from ..engine.base import FetchEntry, ISSUED
+from ..functional.trace import DynInst
+from ..isa.instructions import OpClass
+from .runahead import RUNAHEAD, RunaheadCore
+
+
+class MultipassCore(RunaheadCore):
+    """Runahead with result reuse across passes."""
+
+    name = "multipass"
+
+    def __init__(self, trace, config=None, hierarchy=None, predictor=None,
+                 advance_on: str = "l2_d1", result_buffer_entries: int = 128,
+                 **kwargs) -> None:
+        super().__init__(trace, config=config, hierarchy=hierarchy,
+                         predictor=predictor, advance_on=advance_on, **kwargs)
+        self.result_buffer_entries = result_buffer_entries
+        #: dyn.index -> completion latency class reuse marker.
+        self._results: set[int] = set()
+        self.result_reuses = 0
+
+    # ------------------------------------------------------------------
+    def try_issue(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        if dyn.index in self._results:
+            return self._issue_reused(entry)
+        return super().try_issue(entry)
+
+    def _issue_reused(self, entry: FetchEntry) -> str:
+        """Replay an instruction whose result a previous pass recorded.
+
+        The saved result breaks the data dependence: no source wait, no
+        cache access, single-cycle completion.  It still occupies an
+        issue slot and port (Multipass re-processes everything).
+        """
+        dyn = entry.dyn
+        if not self.ports.available(dyn.opclass):
+            self.stats.stalls.port += 1
+            from ..engine.base import STALLED
+
+            return STALLED
+        self.ports.acquire(dyn.opclass)
+        completion = self.cycle + 1
+        self.result_reuses += 1
+        if self.mode == RUNAHEAD:
+            self._shadow_poison.discard(dyn.dst) if dyn.dst is not None else None
+            if dyn.dst is not None:
+                self.reg_ready[dyn.dst] = completion
+            self.stats.advance_instructions += 1
+            if dyn.is_control:
+                self.predictor.update(dyn)
+                if not entry.predicted_ok:
+                    self.fetch_blocked = False
+                    self.fetch_resume_cycle = completion
+                    self._last_fetch_line = -1
+        else:
+            # Architectural pass: the instruction commits with its saved
+            # result; stores still enter the store queue for real.
+            if dyn.opclass is OpClass.STORE:
+                if self.store_queue.full:
+                    self.stats.stalls.store_buffer_full += 1
+                    from ..engine.base import STALLED
+
+                    return STALLED
+                self.store_queue.push(dyn.addr, dyn.store_val, self.cycle)
+            if dyn.dst is not None:
+                self.reg_ready[dyn.dst] = completion
+            self._results.discard(dyn.index)  # consumed architecturally
+            self.commit(dyn, entry, completion)
+        return ISSUED
+
+    # ------------------------------------------------------------------
+    def _runahead_writeback(self, dyn: DynInst, poisoned: bool,
+                            completion: int) -> None:
+        super()._runahead_writeback(dyn, poisoned, completion)
+        if (not poisoned and dyn.index not in self._results
+                and len(self._results) < self.result_buffer_entries
+                and dyn.opclass is not OpClass.STORE):
+            self._results.add(dyn.index)
+
+    def _exit_runahead(self) -> None:
+        super()._exit_runahead()
+        # Results for instructions older than the restart point can never
+        # be replayed again; free their buffer slots.
+        self._results = {i for i in self._results if i >= self.cursor}

@@ -1,0 +1,256 @@
+"""Runahead execution (Dundas & Mudge 1997; Mutlu et al. 2003).
+
+On a qualifying miss the core checkpoints *at the missing load* and
+keeps executing purely for the memory-level parallelism: runahead
+instructions poison-propagate, prefetch through the real hierarchy, and
+forward store data through a best-effort runahead cache — but nothing
+commits.  When the triggering miss returns, everything is thrown away
+and execution restarts from the checkpointed load (which now hits).
+
+Configurations follow Section 5.1 / Figure 6:
+
+* ``advance_on="l2"``       — enter runahead on L2 misses only, and
+  *block* on data-cache misses encountered while running ahead (the
+  paper's default, best at a 20-cycle L2);
+* ``advance_on="l2_d1"``    — also enter on *primary* D$ misses;
+* ``advance_on="all"``      — additionally poison (rather than block on)
+  secondary D$ misses while running ahead (the "D$-nb" option of
+  Figure 1e/f).
+"""
+
+from __future__ import annotations
+
+from ..engine.base import CoreModel, FetchEntry, ISSUED, STALLED
+from ..functional.trace import DynInst
+from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..isa.registers import ZERO_REG
+from ..memory.hierarchy import L2, MEMORY, PENDING, STREAM, MemResult
+from .runahead_cache import RunaheadCache
+
+NORMAL = "normal"
+RUNAHEAD = "runahead"
+
+
+class RunaheadCore(CoreModel):
+    """In-order pipeline with Runahead execution."""
+
+    name = "runahead"
+
+    def __init__(self, trace, config=None, hierarchy=None, predictor=None,
+                 advance_on: str = "l2", runahead_cache_entries: int = 256) -> None:
+        super().__init__(trace, config=config, hierarchy=hierarchy,
+                         predictor=predictor)
+        if advance_on not in ("l2", "l2_d1", "all"):
+            raise ValueError(f"unknown advance_on: {advance_on}")
+        self.advance_on = advance_on
+        self.mode = NORMAL
+        self.ra_cache = RunaheadCache(runahead_cache_entries)
+        self._shadow_poison: set[int] = set()
+        self._trigger_ready = 0
+        self._ckpt_cursor = 0
+        self._ckpt_reg_ready: list[int] | None = None
+
+    # ==================================================================
+    # mode control
+    # ==================================================================
+    def begin_cycle(self) -> None:
+        super().begin_cycle()
+        if self.mode == RUNAHEAD and self.cycle >= self._trigger_ready:
+            self._exit_runahead()
+
+    def next_event_hint(self) -> int | None:
+        if self.mode == RUNAHEAD:
+            return self._trigger_ready
+        return None
+
+    def done(self) -> bool:
+        # A runahead period always ends with a restore; the run can only
+        # finish in normal mode, after the architectural re-execution.
+        return self.mode == NORMAL and super().done()
+
+    def _qualifies_entry(self, result: MemResult) -> bool:
+        """Should this normal-mode miss start a runahead period?
+
+        Only *long* misses are worth a runahead period: true DRAM fills
+        or in-flight fills with DRAM-class remaining latency.  Stream-
+        buffer hits return in L2-hit-class time — entering runahead on
+        them costs the restart penalty for almost no look-ahead.
+        """
+        level = result.level
+        if level == MEMORY:
+            return True
+        if (level == PENDING and result.mshr is not None
+                and result.mshr.is_l2):
+            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            if result.ready_cycle - self.cycle > threshold:
+                return True
+        if self.advance_on in ("l2_d1", "all") and level in (L2, PENDING):
+            # Primary D$ miss: qualify only if it is the lone outstanding
+            # demand miss (otherwise it is a secondary miss).
+            return self.hierarchy.outstanding_demand_misses(self.cycle) <= 1
+        return False
+
+    def _enter_runahead(self, dyn: DynInst, result: MemResult) -> None:
+        self.mode = RUNAHEAD
+        self._trigger_ready = result.ready_cycle
+        self._ckpt_cursor = dyn.index
+        self._ckpt_reg_ready = list(self.reg_ready)
+        self._shadow_poison = set()
+        self.stats.advance_entries += 1
+
+    def _exit_runahead(self) -> None:
+        """The triggering miss returned: discard everything and replay."""
+        self.mode = NORMAL
+        self.cursor = self._ckpt_cursor
+        self.fetch_queue.clear()
+        self.fetch_blocked = False
+        self.fetch_resume_cycle = self.cycle + 1
+        self._last_fetch_line = -1
+        self.reg_ready = self._ckpt_reg_ready or [self.cycle] * len(self.reg_ready)
+        self._ckpt_reg_ready = None
+        self._shadow_poison = set()
+        self.ra_cache.flush()
+
+    # ==================================================================
+    # issue
+    # ==================================================================
+    def try_issue(self, entry: FetchEntry) -> str:
+        if self.mode == RUNAHEAD:
+            return self._try_issue_runahead(entry)
+        return self._try_issue_normal(entry)
+
+    def _try_issue_normal(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        stalls = self.stats.stalls
+        if not self.ports.available(dyn.opclass):
+            stalls.port += 1
+            return STALLED
+        for src in dyn.srcs:
+            if self.reg_ready[src] > self.cycle:
+                stalls.src_wait += 1
+                return STALLED
+        dst = dyn.dst
+        if dst is not None and dst != ZERO_REG and self.reg_ready[dst] > self.cycle:
+            stalls.waw_wait += 1
+            return STALLED
+        if dyn.opclass is OpClass.LOAD:
+            hit = self.store_queue.forward(dyn.addr)
+            if hit is not None:
+                self.stats.store_forward_hits += 1
+                completion = self.cycle + self.config.hierarchy.l1d.hit_latency
+            else:
+                result = self.hierarchy.data_access(dyn.addr, self.cycle)
+                if result.stalled:
+                    stalls.mshr_full += 1
+                    return STALLED
+                self.record_miss(result)
+                if self._qualifies_entry(result):
+                    # Checkpoint at the load and run ahead; the load is
+                    # the first runahead instruction (discarded later).
+                    self._enter_runahead(dyn, result)
+                    self.ports.acquire(dyn.opclass)
+                    self._runahead_writeback(dyn, poisoned=True,
+                                             completion=self.cycle + 1)
+                    return ISSUED
+                completion = result.ready_cycle
+            self.ports.acquire(dyn.opclass)
+            self.commit(dyn, entry, completion)
+            return ISSUED
+        if dyn.opclass is OpClass.STORE:
+            if self.store_queue.full:
+                stalls.store_buffer_full += 1
+                return STALLED
+            self.store_queue.push(dyn.addr, dyn.store_val, self.cycle)
+            self.ports.acquire(dyn.opclass)
+            self.commit(dyn, entry, self.cycle + 1)
+            return ISSUED
+        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        self.ports.acquire(dyn.opclass)
+        self.commit(dyn, entry, completion)
+        return ISSUED
+
+    # ------------------------------------------------------------------
+    # runahead mode
+    # ------------------------------------------------------------------
+    def _try_issue_runahead(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        shadow = self._shadow_poison
+        poisoned = any(src in shadow for src in dyn.srcs)
+        for src in dyn.srcs:
+            if src not in shadow and self.reg_ready[src] > self.cycle:
+                self.stats.stalls.src_wait += 1
+                return STALLED
+        if not self.ports.available(dyn.opclass):
+            self.stats.stalls.port += 1
+            return STALLED
+
+        completion = self.cycle + 1
+        if not poisoned:
+            if dyn.opclass is OpClass.LOAD:
+                status, completion, poisoned = self._runahead_load(dyn)
+                if status is not ISSUED:
+                    return status
+            elif dyn.opclass is OpClass.STORE:
+                self.ra_cache.write(dyn.addr, dyn.store_val, poisoned=False)
+            else:
+                completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        elif dyn.opclass is OpClass.STORE:
+            # Poisoned data (or address): best-effort poison propagation.
+            addr_poisoned = dyn.srcs[0] in shadow
+            if not addr_poisoned:
+                self.ra_cache.write(dyn.addr, None, poisoned=True)
+
+        self.ports.acquire(dyn.opclass)
+        self._runahead_writeback(dyn, poisoned, completion)
+        if dyn.is_control:
+            self.predictor.update(dyn)
+            if not entry.predicted_ok:
+                if poisoned:
+                    # Wrong path with no way to recover until the period
+                    # ends; fetch stays blocked.
+                    pass
+                else:
+                    self.fetch_blocked = False
+                    self.fetch_resume_cycle = completion
+                    self._last_fetch_line = -1
+        return ISSUED
+
+    def _runahead_load(self, dyn: DynInst):
+        """Returns (status, completion, poisoned)."""
+        fwd = self.ra_cache.read(dyn.addr)
+        if fwd is not None:
+            return ISSUED, self.cycle + self.config.hierarchy.l1d.hit_latency, fwd[1]
+        hit = self.store_queue.forward(dyn.addr)
+        if hit is not None:
+            self.stats.store_forward_hits += 1
+            return ISSUED, self.cycle + self.config.hierarchy.l1d.hit_latency, False
+        result = self.hierarchy.data_access(dyn.addr, self.cycle)
+        if result.stalled:
+            self.stats.stalls.mshr_full += 1
+            return STALLED, 0, False
+        self.record_miss(result)
+        if self._is_l2_class(result):
+            return ISSUED, self.cycle + 1, True  # poison, keep flowing
+        if result.l1_miss and self.advance_on == "all":
+            return ISSUED, self.cycle + 1, True  # D$-nb option
+        return ISSUED, result.ready_cycle, False  # D$-blocking (default)
+
+    def _is_l2_class(self, result: MemResult) -> bool:
+        """Long-latency (DRAM-class) misses poison during runahead."""
+        if result.level == MEMORY:
+            return True
+        if result.level in (STREAM, PENDING):
+            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            return result.ready_cycle - self.cycle > threshold
+        return False
+
+    def _runahead_writeback(self, dyn: DynInst, poisoned: bool,
+                            completion: int) -> None:
+        if dyn.dst is not None:
+            if poisoned:
+                self._shadow_poison.add(dyn.dst)
+                self.reg_ready[dyn.dst] = self.cycle
+            else:
+                self._shadow_poison.discard(dyn.dst)
+                self.reg_ready[dyn.dst] = completion
+        self.stats.advance_instructions += 1

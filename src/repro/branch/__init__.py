@@ -1,0 +1,8 @@
+"""Branch prediction substrate: PPM direction predictor, BTB, RAS."""
+
+from .btb import BTB
+from .ppm import PPMPredictor
+from .predictor import BranchPredictor
+from .ras import RAS
+
+__all__ = ["PPMPredictor", "BTB", "RAS", "BranchPredictor"]

@@ -1,0 +1,129 @@
+"""PPM-like tag-based direction predictor (Michaud, JILP 2005).
+
+Table 1 of the paper specifies a "24 Kbyte 3-table PPM direction
+predictor".  The predictor here follows the PPM structure: a tagless
+bimodal base table plus two partially-tagged tables indexed by
+progressively longer global-history hashes.  Prediction comes from the
+longest-history table whose tag matches; update follows the standard
+PPM/TAGE policy (update the provider, allocate a longer-history entry on
+a misprediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _fold(value: int, bits: int) -> int:
+    """Fold an arbitrarily long integer into ``bits`` bits by XOR."""
+    mask = (1 << bits) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    counter: int = 0  # 2-bit signed: -2..1, taken when >= 0
+    useful: int = 0
+    valid: bool = False
+
+
+class PPMPredictor:
+    """Three-table PPM direction predictor with global history.
+
+    The default geometry spends roughly 24 KB: a 16K-entry 2-bit bimodal
+    base (4 KB) plus two 4K-entry tagged tables with 8-bit tags and
+    2-bit counters (~10 KB together); the remainder of the paper's
+    budget covers the structures we do not model bit-exactly.
+    """
+
+    def __init__(self, base_entries: int = 16384, tagged_entries: int = 4096,
+                 tag_bits: int = 8, history_lengths: tuple[int, int] = (8, 32)) -> None:
+        if base_entries & (base_entries - 1) or tagged_entries & (tagged_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self.base = [0] * base_entries  # 2-bit: 0..3, taken when >= 2
+        self.base_mask = base_entries - 1
+        self.tagged = [
+            [_TaggedEntry() for _ in range(tagged_entries)]
+            for _ in history_lengths
+        ]
+        self.tagged_mask = tagged_entries - 1
+        self.tag_bits = tag_bits
+        self.history_lengths = history_lengths
+        self.history = 0
+        self.lookups = 0
+        self.mispredicts = 0
+
+    # ------------------------------------------------------------------
+    def _indices(self, pc: int):
+        """(base_index, [(table, index, tag), ...]) for ``pc``."""
+        base_index = (pc >> 2) & self.base_mask
+        tagged = []
+        index_bits = self.tagged_mask.bit_length()
+        for level, hist_len in enumerate(self.history_lengths):
+            hist = self.history & ((1 << hist_len) - 1)
+            index = ((pc >> 2) ^ _fold(hist, index_bits)) & self.tagged_mask
+            tag = ((pc >> 9) ^ _fold(hist, self.tag_bits)) & ((1 << self.tag_bits) - 1)
+            tagged.append((level, index, tag))
+        return base_index, tagged
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        self.lookups += 1
+        base_index, tagged = self._indices(pc)
+        for level, index, tag in reversed(tagged):  # longest history first
+            entry = self.tagged[level][index]
+            if entry.valid and entry.tag == tag:
+                return entry.counter >= 0
+        return self.base[base_index] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved outcome and advance global history."""
+        base_index, tagged = self._indices(pc)
+        provider_level = None
+        for level, index, tag in reversed(tagged):
+            entry = self.tagged[level][index]
+            if entry.valid and entry.tag == tag:
+                provider_level = level
+                predicted = entry.counter >= 0
+                entry.counter = _saturate(entry.counter + (1 if taken else -1), -2, 1)
+                if predicted == taken:
+                    entry.useful = min(entry.useful + 1, 3)
+                break
+        else:
+            predicted = self.base[base_index] >= 2
+            self.base[base_index] = _saturate(
+                self.base[base_index] + (1 if taken else -1), 0, 3
+            )
+
+        if predicted != taken:
+            self.mispredicts += 1
+            self._allocate(tagged, provider_level, taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & ((1 << 64) - 1)
+
+    def _allocate(self, tagged, provider_level, taken: bool) -> None:
+        """On a mispredict, claim an entry in a longer-history table."""
+        start = 0 if provider_level is None else provider_level + 1
+        for level, index, tag in tagged[start:]:
+            entry = self.tagged[level][index]
+            if not entry.valid or entry.useful == 0:
+                entry.tag = tag
+                entry.counter = 0 if taken else -1
+                entry.useful = 0
+                entry.valid = True
+                return
+            entry.useful -= 1
+
+    @property
+    def accuracy(self) -> float:
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups
+
+
+def _saturate(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))

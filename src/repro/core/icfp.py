@@ -1,0 +1,837 @@
+"""iCFP: the in-order Continual Flow Pipeline (Sections 3.1-3.4).
+
+State machine
+-------------
+``normal``    — plain in-order execution (with the chained store buffer
+                acting as the machine's store buffer).
+``advance``   — a checkpoint is live.  Miss-independent instructions
+                execute and commit into the main register file (tagged
+                with last-writer sequence numbers); miss-dependent ones
+                divert into the slice buffer with their captured side
+                inputs.  Rally passes re-execute slice contents whenever
+                a miss returns, merging results into main state gated by
+                sequence numbers; with the multithreaded-rally feature
+                they interleave with tail execution at one instruction
+                per cycle, rally first.
+``simple_ra`` — fallback runahead (Section 3.4): entered on slice/store
+                buffer overflow or a poisoned-address store.  Nothing
+                commits; execution continues purely for its prefetch
+                value, then rewinds to the fallback point and resumes
+                full advance execution once the condition resolves.
+
+The :class:`ICFPFeatures` flags expose the Figure 7 "build" ladder
+(store-buffer discipline, blocking vs non-blocking rallies, poison
+width, multithreaded rally) and the Figure 6 advance triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.base import CoreModel, FetchEntry, ISSUED, STALLED
+from ..functional.trace import DynInst
+from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..isa.registers import NUM_REGS, ZERO_REG
+from ..memory.hierarchy import L2, MEMORY, PENDING, STREAM, MemResult
+from .poison import PoisonAllocator
+from .regfile import MainRegFile, ScratchRegFile
+from .signature import LoadSignature
+from .slice_buffer import SliceBuffer, SliceEntry
+from .store_buffer import ChainedStoreBuffer, ForwardResult, IndexedStall
+
+NORMAL = "normal"
+ADVANCE = "advance"
+SIMPLE_RA = "simple_ra"
+
+
+@dataclass(frozen=True)
+class ICFPFeatures:
+    """Feature flags spanning the paper's design space (Figures 6-8)."""
+
+    #: Store-buffer discipline: "chained" (the paper's design),
+    #: "assoc" (idealised), or "indexed" (limited forwarding, Figure 8).
+    store_buffer_kind: str = "chained"
+    #: False = a single rally pass that stalls at pending loads and
+    #: blocks the tail (the SLTP-style rally of Figure 7, bars 1-2).
+    nonblocking_rally: bool = True
+    #: True = rally and tail instructions interleave (Figure 7, bar 5).
+    mt_rally: bool = True
+    #: Poison-vector width (Section 3.4; 1 = classic poison bits).
+    poison_bits: int = 8
+    #: Which misses trigger/extend advance mode: "all" or "l2".
+    advance_on: str = "all"
+    slice_entries: int = 128
+    store_buffer_entries: int = 128
+    chain_table_size: int = 512
+    signature_bits: int = 1024
+    #: Assert dataflow invariants during simulation (tests set this).
+    validate: bool = False
+
+
+@dataclass
+class _Checkpoint:
+    cursor: int
+    ssn: int
+    cycle: int
+    committed: tuple[int, int, int, int]  # instructions, loads, stores, branches
+
+
+class ICFPCore(CoreModel):
+    """The iCFP machine model."""
+
+    name = "icfp"
+
+    def __init__(self, trace, config=None, hierarchy=None, predictor=None,
+                 features: ICFPFeatures | None = None) -> None:
+        super().__init__(trace, config=config, hierarchy=hierarchy,
+                         predictor=predictor)
+        self.features = features if features is not None else ICFPFeatures()
+        f = self.features
+        self.mode = NORMAL
+        self.main_rf = MainRegFile()
+        self.scratch_rf = ScratchRegFile()
+        self.slice = SliceBuffer(f.slice_entries)
+        self.slice_by_seq: dict[int, SliceEntry] = {}
+        self.sb = ChainedStoreBuffer(
+            capacity=f.store_buffer_entries,
+            chain_table_size=f.chain_table_size,
+            kind=f.store_buffer_kind,
+        )
+        self.poison_alloc = PoisonAllocator(f.poison_bits)
+        self.signature = LoadSignature(bits=f.signature_bits)
+        self.checkpoint: _Checkpoint | None = None
+        self.next_seq = 0
+        # Rally state.
+        self.pending_rally_mask = 0
+        self.rally_active = False
+        self._pass_entries: list[SliceEntry] = []
+        self._pass_cursor = 0
+        self._pass_mask = 0
+        self._rally_wait_until = 0
+        self._rally_block: tuple[SliceEntry, int] | None = None
+        # Simple-runahead (fallback) state.
+        self.simple_ra_start = 0
+        self.fallback_reason: str | None = None
+        self._shadow_poison: set[int] = set()
+        self._shadow_stores: dict[int, object] = {}
+        self._rallied_since_fallback = False
+        self._stale_check_needed = False
+
+    # ==================================================================
+    # per-cycle phases
+    # ==================================================================
+    def begin_cycle(self) -> None:
+        super().begin_cycle()
+        if self.mode == NORMAL:
+            return
+        mask = self.poison_alloc.mask_of_returned(self.returned_mshrs)
+        if mask:
+            self.pending_rally_mask |= mask
+        if not self.rally_active:
+            if self._stale_check_needed:
+                # Entries captured *while* a pass was in flight can carry
+                # a bit whose miss returned during that very pass; that
+                # bit will never "return" again.  Re-queue any active
+                # bits with no in-flight fill behind them so the next
+                # pass sweeps them up.
+                self._stale_check_needed = False
+                stale = self.slice.pending_poison() & ~self._in_flight_bits()
+                if stale:
+                    self.pending_rally_mask |= stale
+            if self.pending_rally_mask and self.slice.active_count():
+                self._start_rally_pass()
+
+    def _in_flight_bits(self) -> int:
+        mask = 0
+        for mshr in self.hierarchy.mshrs.pending():
+            if mshr.poison_bit is not None:
+                mask |= 1 << mshr.poison_bit
+        return mask
+
+    def do_issue(self) -> None:
+        self.ports.reset()
+        slots = self.config.width
+        if self.rally_active:
+            if self._rally_step():
+                # The rally slot did real work this cycle.
+                slots -= 1
+                self._progress = True
+            if not self.features.mt_rally:
+                return  # tail blocked while a rally is in flight
+        while slots > 0 and self.fetch_queue:
+            entry = self.fetch_queue[0]
+            if entry.decode_ready > self.cycle:
+                break
+            if self.try_issue(entry) is not ISSUED:
+                break
+            self.fetch_queue.popleft()
+            self._progress = True
+            slots -= 1
+
+    def end_cycle(self) -> None:
+        gate = self.checkpoint.ssn if self.checkpoint is not None else None
+        if self.sb.drain_step(self.hierarchy, self.cycle,
+                              self.committed_memory, before_ssn=gate):
+            self._progress = True
+        if self.mode == SIMPLE_RA:
+            self._maybe_resume_advance()
+        elif self.mode == ADVANCE:
+            self._maybe_exit_advance()
+
+    def done(self) -> bool:
+        return (
+            self.mode == NORMAL
+            and self.cursor >= len(self.trace)
+            and not self.fetch_queue
+            and self.sb.empty
+            and self.cycle >= self.last_completion
+        )
+
+    def next_event_hint(self) -> int | None:
+        hints = []
+        if self.rally_active and self._rally_wait_until > self.cycle:
+            hints.append(self._rally_wait_until)
+        if self._rally_block is not None:
+            hints.append(self._rally_block[1])
+        drain = self.sb.next_drain_event(self.cycle)
+        if drain is not None:
+            hints.append(drain)
+        return min(hints) if hints else None
+
+    def _head_wakeup(self, entry: FetchEntry) -> int:
+        earliest = entry.decode_ready
+        poison = self.main_rf.poison
+        for src in entry.dyn.srcs:
+            # Poisoned sources never wait on the scoreboard — the
+            # instruction slices out instead.
+            if self.mode == NORMAL or not poison[src]:
+                earliest = max(earliest, self.reg_ready[src])
+        dst = entry.dyn.dst
+        if self.mode == NORMAL and dst is not None and dst != ZERO_REG:
+            earliest = max(earliest, self.reg_ready[dst])
+        return earliest
+
+    # ==================================================================
+    # issue paths
+    # ==================================================================
+    def try_issue(self, entry: FetchEntry) -> str:
+        if self.mode == ADVANCE:
+            return self._try_issue_advance(entry)
+        if self.mode == SIMPLE_RA:
+            return self._try_issue_simple_ra(entry)
+        return self._try_issue_normal(entry)
+
+    # ------------------------------------------------------------------
+    # normal mode
+    # ------------------------------------------------------------------
+    def _try_issue_normal(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        stalls = self.stats.stalls
+        if not self.ports.available(dyn.opclass):
+            stalls.port += 1
+            return STALLED
+        for src in dyn.srcs:
+            if self.reg_ready[src] > self.cycle:
+                stalls.src_wait += 1
+                return STALLED
+        dst = dyn.dst
+        if dst is not None and dst != ZERO_REG and self.reg_ready[dst] > self.cycle:
+            stalls.waw_wait += 1
+            return STALLED
+
+        opclass = dyn.opclass
+        if opclass is OpClass.LOAD:
+            return self._normal_load(dyn, entry)
+        if opclass is OpClass.STORE:
+            if self.sb.full:
+                stalls.store_buffer_full += 1
+                return STALLED
+            self.sb.allocate(dyn.addr, dyn.store_val, 0, -1)
+            self._finish_issue(dyn, entry, self.cycle + 1)
+            return ISSUED
+        completion = self.cycle + EXEC_LATENCY[opclass]
+        self._finish_issue(dyn, entry, completion)
+        return ISSUED
+
+    def _normal_load(self, dyn: DynInst, entry: FetchEntry) -> str:
+        fwd = self.sb.forward(dyn.addr)
+        if isinstance(fwd, IndexedStall):
+            self.stats.stalls.store_buffer_full += 1
+            return STALLED  # wait for the conflicting store to drain
+        if isinstance(fwd, ForwardResult):
+            self.stats.store_forward_hits += 1
+            self.stats.store_forward_hops += fwd.excess_hops
+            self._check_forward(fwd, dyn)
+            lat = self.config.hierarchy.l1d.hit_latency
+            self._finish_issue(dyn, entry, self.cycle + lat + fwd.excess_hops)
+            return ISSUED
+        result = self.hierarchy.data_access(dyn.addr, self.cycle)
+        if result.stalled:
+            self.stats.stalls.mshr_full += 1
+            return STALLED
+        self.record_miss(result)
+        if self._qualifies_for_advance(result):
+            # The defining transition: checkpoint and keep flowing.
+            self._enter_advance()
+            self.ports.acquire(dyn.opclass)
+            return self._advance_missing_load(dyn, entry, result)
+        self._finish_issue(dyn, entry, result.ready_cycle)
+        return ISSUED
+
+    def _finish_issue(self, dyn: DynInst, entry: FetchEntry, completion: int) -> None:
+        """Common issue epilogue for normal-mode instructions."""
+        self.ports.acquire(dyn.opclass)
+        self.commit(dyn, entry, completion)
+        if dyn.dst is not None:
+            if self.mode == NORMAL:
+                self.main_rf.write_normal(dyn.dst, dyn.result)
+            else:
+                self.main_rf.write_advance(dyn.dst, dyn.result,
+                                           self._take_seq(), 0)
+
+    # ------------------------------------------------------------------
+    # advance mode
+    # ------------------------------------------------------------------
+    def _try_issue_advance(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        stalls = self.stats.stalls
+        poison_of = self.main_rf.poison
+        src_poison = 0
+        for src in dyn.srcs:
+            src_poison |= poison_of[src]
+        # Non-poisoned inputs must be timing-ready (either to execute or
+        # to be captured as slice side inputs).
+        for src in dyn.srcs:
+            if not poison_of[src] and self.reg_ready[src] > self.cycle:
+                stalls.src_wait += 1
+                return STALLED
+
+        if dyn.opclass is OpClass.STORE:
+            return self._advance_store(dyn, entry, src_poison)
+
+        if src_poison:
+            # Miss-dependent: divert to the slice buffer.
+            return self._capture_slice(dyn, entry, src_poison)
+
+        # Miss-independent: execute and commit.
+        if not self.ports.available(dyn.opclass):
+            stalls.port += 1
+            return STALLED
+        if dyn.opclass is OpClass.LOAD:
+            return self._advance_load(dyn, entry)
+        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        self.ports.acquire(dyn.opclass)
+        self._commit_advance(dyn, entry, completion)
+        return ISSUED
+
+    def _advance_load(self, dyn: DynInst, entry: FetchEntry) -> str:
+        fwd = self.sb.forward(dyn.addr)
+        if isinstance(fwd, IndexedStall):
+            self._enter_simple_ra(dyn.index, "indexed_stall")
+            return STALLED
+        if isinstance(fwd, ForwardResult):
+            self.stats.store_forward_hits += 1
+            self.stats.store_forward_hops += fwd.excess_hops
+            if fwd.poison:
+                # Forwarding from a miss-dependent store poisons the load.
+                return self._capture_slice(dyn, entry, fwd.poison)
+            self._check_forward(fwd, dyn)
+            lat = self.config.hierarchy.l1d.hit_latency
+            self.ports.acquire(dyn.opclass)
+            self._commit_advance(dyn, entry, self.cycle + lat + fwd.excess_hops)
+            return ISSUED
+        result = self.hierarchy.data_access(dyn.addr, self.cycle)
+        if result.stalled:
+            self.stats.stalls.mshr_full += 1
+            return STALLED
+        self.record_miss(result)
+        if self._qualifies_for_advance(result):
+            self.ports.acquire(dyn.opclass)
+            return self._advance_missing_load(dyn, entry, result)
+        # Cache-sourced value: vulnerable to external stores.
+        self.signature.insert(dyn.addr)
+        self.ports.acquire(dyn.opclass)
+        self._commit_advance(dyn, entry, result.ready_cycle)
+        return ISSUED
+
+    def _advance_missing_load(self, dyn: DynInst, entry: FetchEntry,
+                              result: MemResult) -> str:
+        """A load whose miss we advance past: poison and slice it."""
+        mask = self.poison_alloc.bit_for(result.mshr)
+        return self._capture_slice(dyn, entry, mask, self_poison=True)
+
+    def _advance_store(self, dyn: DynInst, entry: FetchEntry,
+                       src_poison: int) -> str:
+        addr_src, data_src = dyn.srcs[0], dyn.srcs[1]
+        addr_poison = self.main_rf.poison[addr_src]
+        data_poison = self.main_rf.poison[data_src]
+        if addr_poison:
+            # A store with an unknown address removes all forwarding
+            # guarantees for younger loads (Section 3.2).
+            self.stats.stalls.poisoned_store_addr += 1
+            self._enter_simple_ra(dyn.index, "poisoned_store_addr")
+            return STALLED
+        if self.sb.full:
+            self._enter_simple_ra(dyn.index, "store_buffer_full")
+            return STALLED
+        if not data_poison:
+            if not self.ports.available(dyn.opclass):
+                self.stats.stalls.port += 1
+                return STALLED
+            self.sb.allocate(dyn.addr, dyn.store_val, 0, self.next_seq)
+            self.ports.acquire(dyn.opclass)
+            self._commit_advance(dyn, entry, self.cycle + 1)
+            return ISSUED
+        # Data-poisoned store: hold a store-buffer slot (so younger loads
+        # see the poison) and re-execute via the slice buffer.
+        if self.slice.full:
+            self._enter_simple_ra(dyn.index, "slice_buffer_full")
+            return STALLED
+        ssn = self.sb.allocate(dyn.addr, None, data_poison, self.next_seq)
+        return self._capture_slice(dyn, entry, data_poison, ssn=ssn)
+
+    def _capture_slice(self, dyn: DynInst, entry: FetchEntry, poison: int,
+                       self_poison: bool = False, ssn: int | None = None) -> str:
+        """Divert a miss-dependent instruction into the slice buffer."""
+        if self.slice.full:
+            self._enter_simple_ra(dyn.index, "slice_buffer_full")
+            return STALLED
+        seq = self._take_seq()
+        captured: dict[int, object] = {}
+        producer_seq: dict[int, int] = {}
+        for src in dyn.srcs:
+            mask = self.main_rf.poison[src]
+            if mask and not self_poison:
+                producer_seq[src] = self.main_rf.last_writer[src]
+            else:
+                captured[src] = self.main_rf.values[src]
+        slice_entry = SliceEntry(dyn, seq, captured, poison,
+                                 ssn_limit=self.sb.ssn_tail,
+                                 predicted_ok=entry.predicted_ok,
+                                 producer_seq=producer_seq, ssn=ssn)
+        self.slice.append(slice_entry)
+        self.slice_by_seq[seq] = slice_entry
+        if self.rally_active:
+            self._stale_check_needed = True
+        self.stats.slice_captures += 1
+        self.stats.advance_instructions += 1
+        if dyn.dst is not None:
+            self.main_rf.write_advance(dyn.dst, None, seq, poison)
+            self.reg_ready[dyn.dst] = self.cycle  # consumers slice, not stall
+        # Poisoned control: a correctly predicted branch just flows on; a
+        # mispredicted one leaves fetch blocked until its rally squashes.
+        return ISSUED
+
+    def _commit_advance(self, dyn: DynInst, entry: FetchEntry,
+                        completion: int) -> None:
+        seq = self._take_seq()
+        self.commit(dyn, entry, completion)
+        self.stats.advance_instructions += 1
+        if dyn.dst is not None:
+            self.main_rf.write_advance(dyn.dst, dyn.result, seq, 0)
+
+    def _take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # rally
+    # ------------------------------------------------------------------
+    def _start_rally_pass(self) -> None:
+        self._pass_mask = (self.pending_rally_mask
+                           if self.features.nonblocking_rally
+                           else self.poison_alloc.full_mask)
+        self.pending_rally_mask = 0
+        self._pass_entries = list(self.slice.entries())
+        self._pass_cursor = 0
+        self.rally_active = True
+        self._rally_block = None
+        self.stats.rally_passes += 1
+
+    def _rally_step(self) -> bool:
+        """Process at most one slice instruction.
+
+        Returns True when the rally did real work this cycle; pure waits
+        (a blocked load, an in-slice FU dependence) return False so the
+        idle-cycle fast-forward can jump them — the wake-up times are
+        exported through :meth:`next_event_hint`.
+        """
+        if self._rally_block is not None:
+            slice_entry, ready = self._rally_block
+            if ready > self.cycle:
+                return False  # blocking rally: idle until the miss returns
+            self._rally_block = None
+            self._merge_rally_result(slice_entry, ready)
+            self._pass_cursor += 1
+            return True
+        if self._rally_wait_until > self.cycle:
+            return False  # waiting on an in-slice FU dependence
+        while self._pass_cursor < len(self._pass_entries):
+            slice_entry = self._pass_entries[self._pass_cursor]
+            if not slice_entry.active or not (slice_entry.poison & self._pass_mask):
+                self._pass_cursor += 1  # banked skip: free
+                continue
+            return self._process_rally_entry(slice_entry)
+        self._end_rally_pass()
+        return False
+
+    def _process_rally_entry(self, slice_entry: SliceEntry) -> bool:
+        dyn = slice_entry.dyn
+        pending = 0
+        value_ready = self.cycle
+        for src, producer in list(slice_entry.producer_seq.items()):
+            producer_entry = self.slice_by_seq.get(producer)
+            if producer_entry is None:
+                # Producer merged into main state in an earlier episode;
+                # read it like a captured input.
+                slice_entry.captured[src] = self.main_rf.values[src]
+                del slice_entry.producer_seq[src]
+            elif producer_entry.active:
+                pending |= producer_entry.poison
+            else:
+                # Per-visit capture: bind the now-available input so later
+                # passes never chase a stale producer (slice overlap case).
+                slice_entry.captured[src] = producer_entry.result_value
+                del slice_entry.producer_seq[src]
+                value_ready = max(value_ready, producer_entry.done_cycle)
+        if pending:
+            slice_entry.poison = pending
+            self.stats.rally_instructions += 1
+            self._pass_cursor += 1
+            return True
+        if value_ready > self.cycle:
+            self._rally_wait_until = value_ready
+            return False
+        if self.features.validate:
+            self._validate_bindings(slice_entry)
+
+        if dyn.opclass is OpClass.LOAD:
+            return self._rally_load(slice_entry)
+        if dyn.opclass is OpClass.STORE:
+            self.sb.update_store(slice_entry.ssn, dyn.store_val, 0)
+            self._merge_rally_result(slice_entry, self.cycle + 1)
+            self._pass_cursor += 1
+            return True
+        if dyn.is_control and not slice_entry.predicted_ok:
+            # A mispredicted poisoned branch: everything younger than the
+            # checkpoint is wrong-path state.  Squash and restart.
+            self._squash_to_checkpoint()
+            return True
+        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        self._merge_rally_result(slice_entry, completion)
+        self._pass_cursor += 1
+        return True
+
+    def _rally_load(self, slice_entry: SliceEntry) -> bool:
+        dyn = slice_entry.dyn
+        fwd = self.sb.forward(dyn.addr, before_ssn=slice_entry.ssn_limit)
+        if isinstance(fwd, IndexedStall):
+            # Treat like a pending input: revisit next pass.
+            self.stats.rally_instructions += 1
+            self._pass_cursor += 1
+            return True
+        if isinstance(fwd, ForwardResult):
+            if fwd.poison:
+                slice_entry.poison = fwd.poison
+                self.stats.rally_instructions += 1
+                self._pass_cursor += 1
+                return True
+            self.stats.store_forward_hits += 1
+            self.stats.store_forward_hops += fwd.excess_hops
+            self._check_forward(fwd, dyn)
+            lat = self.config.hierarchy.l1d.hit_latency
+            self._merge_rally_result(slice_entry,
+                                     self.cycle + lat + fwd.excess_hops)
+            self._pass_cursor += 1
+            return True
+        result = self.hierarchy.data_access(dyn.addr, self.cycle)
+        if result.stalled:
+            self._rally_wait_until = self.cycle + 1
+            return False
+        self.record_miss(result)
+        if self._qualifies_for_advance(result):
+            # Dependent miss discovered during the rally.
+            if self.features.nonblocking_rally:
+                mask = self.poison_alloc.bit_for(result.mshr)
+                slice_entry.poison = mask
+                self.stats.rally_instructions += 1
+                self._pass_cursor += 1
+                return True
+            self._rally_block = (slice_entry, result.ready_cycle)
+            return False
+        self.signature.insert(dyn.addr)
+        self._merge_rally_result(slice_entry, result.ready_cycle)
+        self._pass_cursor += 1
+        return True
+
+    def _merge_rally_result(self, slice_entry: SliceEntry, completion: int) -> None:
+        dyn = slice_entry.dyn
+        self.slice.deactivate(slice_entry)
+        slice_entry.result_value = dyn.result
+        slice_entry.done_cycle = completion
+        if dyn.dst is not None:
+            landed = self.main_rf.write_rally(dyn.dst, dyn.result,
+                                              slice_entry.seq, 0)
+            if landed:
+                self.reg_ready[dyn.dst] = completion
+        if dyn.is_control:
+            self.predictor.update(dyn)
+        self.stats.rally_instructions += 1
+        self.stats.instructions += 1
+        if dyn.is_load:
+            self.stats.loads += 1
+        elif dyn.is_store:
+            self.stats.stores += 1
+        if dyn.is_branch:
+            self.stats.branches += 1
+        if completion > self.last_completion:
+            self.last_completion = completion
+
+    def _end_rally_pass(self) -> None:
+        self.rally_active = False
+        self._rally_wait_until = 0
+        self._pass_entries = []
+        # Reclaim head space; producer bindings (slice_by_seq) live until
+        # the episode ends so later passes can still read merged results.
+        self.slice.reclaim_head()
+        self._rallied_since_fallback = True
+        self._stale_check_needed = True
+
+    # ------------------------------------------------------------------
+    # mode transitions
+    # ------------------------------------------------------------------
+    def _qualifies_for_advance(self, result: MemResult) -> bool:
+        """Which misses trigger/extend advance execution.
+
+        "L2-only" configurations trigger on *long* misses: true DRAM
+        fills, or in-flight fills with DRAM-class remaining latency.
+        Stream-buffer hits return within L2-hit-class latency, so they
+        count as short misses (like D$ misses that hit the L2).
+        """
+        level = result.level
+        if level == MEMORY:
+            return True
+        if self.features.advance_on == "all":
+            return level in (L2, STREAM, PENDING)
+        if level == PENDING and result.mshr is not None and result.mshr.is_l2:
+            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            return result.ready_cycle - self.cycle > threshold
+        return False
+
+    def _enter_advance(self) -> None:
+        self.main_rf.checkpoint()
+        self.checkpoint = _Checkpoint(
+            cursor=0,  # patched below by the triggering load's entry
+            ssn=self.sb.ssn_tail,
+            cycle=self.cycle,
+            committed=(self.stats.instructions, self.stats.loads,
+                       self.stats.stores, self.stats.branches),
+        )
+        # The triggering load is at the head of the fetch queue.
+        if self.fetch_queue:
+            self.checkpoint.cursor = self.fetch_queue[0].dyn.index
+        self.mode = ADVANCE
+        self.next_seq = 0
+        self.stats.advance_entries += 1
+
+    def _maybe_exit_advance(self) -> None:
+        if self.rally_active or self.slice.active_count():
+            return
+        # Every deferred instruction has merged; advance state is final.
+        self.slice.reclaim_head()
+        self.slice_by_seq.clear()
+        if self.features.validate and self.main_rf.any_poisoned():
+            raise AssertionError("register poison survived advance exit")
+        self.main_rf.poison = [0] * NUM_REGS
+        self.main_rf.release()
+        self.checkpoint = None
+        self.mode = NORMAL
+        self.signature.clear()
+        self.pending_rally_mask = 0
+
+    def _enter_simple_ra(self, dyn_index: int, reason: str) -> None:
+        if self.mode == SIMPLE_RA:
+            return
+        self.mode = SIMPLE_RA
+        self.simple_ra_start = dyn_index
+        self.fallback_reason = reason
+        self._shadow_poison = set()
+        self._shadow_stores = {}
+        self._rallied_since_fallback = False
+        self.stats.simple_runahead_entries += 1
+
+    def _maybe_resume_advance(self) -> None:
+        reason = self.fallback_reason
+        resume = False
+        if self.slice.active_count() == 0 and not self.rally_active:
+            # The whole advance episode has merged: resuming lets
+            # _maybe_exit_advance release the checkpoint, which unblocks
+            # the store-buffer drain (a full SB can never drain while
+            # the commit gate is up, so waiting on `not sb.full` alone
+            # would deadlock).
+            resume = True
+        elif reason == "slice_buffer_full":
+            resume = not self.slice.full
+        elif reason == "store_buffer_full":
+            resume = not self.sb.full
+        else:  # poisoned_store_addr / indexed_stall: retry after rallies
+            resume = self._rallied_since_fallback
+        if not resume:
+            return
+        self.mode = ADVANCE
+        self.fallback_reason = None
+        self.cursor = self.simple_ra_start
+        self.fetch_queue.clear()
+        self.fetch_blocked = False
+        self.fetch_resume_cycle = self.cycle + 1
+        self._last_fetch_line = -1
+        self._shadow_poison = set()
+        self._shadow_stores = {}
+        self._maybe_exit_advance()
+
+    def _squash_to_checkpoint(self) -> None:
+        ckpt = self.checkpoint
+        assert ckpt is not None
+        self.main_rf.restore()
+        self.slice.flush()
+        self.slice_by_seq.clear()
+        self.sb.squash_to(ckpt.ssn)
+        self.cursor = ckpt.cursor
+        self.fetch_queue.clear()
+        self.fetch_blocked = False
+        self.fetch_resume_cycle = self.cycle + 1
+        self._last_fetch_line = -1
+        self.mode = NORMAL
+        self.checkpoint = None
+        self.signature.clear()
+        self.rally_active = False
+        self.pending_rally_mask = 0
+        self._rally_block = None
+        self._rally_wait_until = 0
+        self._pass_entries = []
+        self._pass_cursor = 0
+        self._shadow_poison = set()
+        self._shadow_stores = {}
+        self.fallback_reason = None
+        # Un-count everything committed inside the squashed region.
+        base = ckpt.committed
+        self.stats.instructions = base[0]
+        self.stats.loads = base[1]
+        self.stats.stores = base[2]
+        self.stats.branches = base[3]
+        self.stats.squashes += 1
+        self.reg_ready = [self.cycle] * NUM_REGS
+
+    # ------------------------------------------------------------------
+    # simple runahead (fallback) mode
+    # ------------------------------------------------------------------
+    def _try_issue_simple_ra(self, entry: FetchEntry) -> str:
+        dyn = entry.dyn
+        shadow = self._shadow_poison
+        poisoned = any(src in shadow for src in dyn.srcs) or bool(
+            any(self.main_rf.poison[src] for src in dyn.srcs)
+        )
+        for src in dyn.srcs:
+            if src not in shadow and self.reg_ready[src] > self.cycle:
+                self.stats.stalls.src_wait += 1
+                return STALLED
+        completion = self.cycle + 1
+        if not poisoned:
+            if not self.ports.available(dyn.opclass):
+                self.stats.stalls.port += 1
+                return STALLED
+            self.ports.acquire(dyn.opclass)
+            if dyn.opclass is OpClass.LOAD:
+                if dyn.addr in self._shadow_stores:
+                    completion = self.cycle + self.config.hierarchy.l1d.hit_latency
+                else:
+                    result = self.hierarchy.data_access(dyn.addr, self.cycle)
+                    if result.stalled:
+                        return STALLED
+                    self.record_miss(result)
+                    if self._qualifies_for_advance(result):
+                        poisoned = True  # prefetch issued; poison the dest
+                    else:
+                        completion = result.ready_cycle
+            elif dyn.opclass is OpClass.STORE:
+                self._shadow_stores[dyn.addr] = dyn.store_val
+            else:
+                completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        if dyn.dst is not None:
+            if poisoned:
+                shadow.add(dyn.dst)
+                self.reg_ready[dyn.dst] = self.cycle
+            else:
+                shadow.discard(dyn.dst)
+                self.reg_ready[dyn.dst] = completion
+        if dyn.is_control:
+            self.predictor.update(dyn)
+            if not entry.predicted_ok and not poisoned:
+                self.fetch_blocked = False
+                self.fetch_resume_cycle = completion
+                self._last_fetch_line = -1
+            # A poisoned mispredicted control leaves fetch blocked: the
+            # shadow path cannot recover it, so fetch idles until the
+            # fallback resolves and execution rewinds.
+        self.stats.advance_instructions += 1
+        return ISSUED
+
+    # ------------------------------------------------------------------
+    # multiprocessor safety
+    # ------------------------------------------------------------------
+    def external_store(self, addr: int) -> bool:
+        """An external (other-core) store probes the load signature.
+
+        Returns True if it forced a squash to the checkpoint.
+        """
+        if self.mode == NORMAL or self.checkpoint is None:
+            return False
+        if not self.signature.probe(addr):
+            return False
+        self._squash_to_checkpoint()
+        return True
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _check_forward(self, fwd: ForwardResult, dyn: DynInst) -> None:
+        if self.features.validate and fwd.value != dyn.result:
+            raise AssertionError(
+                f"store-buffer forwarded {fwd.value!r} to load #{dyn.index}, "
+                f"functional value is {dyn.result!r}"
+            )
+
+    def _validate_bindings(self, slice_entry: SliceEntry) -> None:
+        dyn = slice_entry.dyn
+        for i, src in enumerate(dyn.srcs):
+            if src in slice_entry.captured:
+                got = slice_entry.captured[src]
+                want = dyn.src_vals[i]
+                if got != want:
+                    raise AssertionError(
+                        f"slice input mismatch on #{dyn.index} src r{src}: "
+                        f"captured {got!r}, functional {want!r}"
+                    )
+
+    def validate_final_state(self) -> list[str]:
+        """Compare merged architectural state against the golden trace."""
+        problems = []
+        final = self.trace.final_state
+        for reg in range(NUM_REGS):
+            if self.main_rf.values[reg] != final.regs[reg]:
+                problems.append(
+                    f"reg {reg}: {self.main_rf.values[reg]!r} != "
+                    f"{final.regs[reg]!r}"
+                )
+        for addr, value in self.committed_memory.items():
+            if final.memory.get(addr, 0) != value:
+                problems.append(
+                    f"mem[{addr:#x}]: {value!r} != {final.memory.get(addr, 0)!r}"
+                )
+        stored = {d.addr for d in self.trace if d.is_store}
+        if set(self.committed_memory) != stored:
+            missing = stored - set(self.committed_memory)
+            extra = set(self.committed_memory) - stored
+            problems.append(f"memory coverage: missing={missing} extra={extra}")
+        return problems

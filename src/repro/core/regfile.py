@@ -1,0 +1,153 @@
+"""Register files for iCFP (Section 3.1 and Figure 3 of the paper).
+
+The *main* register file (RF0) carries, per register:
+
+* the architectural value,
+* a poison vector (which in-flight misses the value depends on), and
+* a *last-writer sequence number* — the distance-from-checkpoint of the
+  youngest advance instruction that wrote the register.
+
+Sequence numbers gate rally writes: a re-executing slice instruction
+may update RF0 only if it still *is* the register's last writer;
+otherwise a younger advance instruction already produced the
+architecturally-latest value and the write would be a WAW violation
+(Figure 3's first rally suppresses exactly such writes to r3/r4).
+
+The *scratch* register file (RF1, borrowed from the second SMT context)
+carries values, poison, and ready-times used while re-executing slices.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import NUM_REGS, ZERO_REG
+
+#: last_writer value meaning "not written since the checkpoint".
+NO_WRITER = -1
+
+
+class MainRegFile:
+    """Checkpointed architectural register file with poison + seq fields."""
+
+    def __init__(self) -> None:
+        self.values: list = [0] * NUM_REGS
+        self.poison: list[int] = [0] * NUM_REGS
+        self.last_writer: list[int] = [NO_WRITER] * NUM_REGS
+        self._checkpoint: list | None = None
+
+    # ------------------------------------------------------------------
+    # checkpoint management (single checkpoint, create/restore only)
+    # ------------------------------------------------------------------
+    @property
+    def has_checkpoint(self) -> bool:
+        return self._checkpoint is not None
+
+    def checkpoint(self) -> None:
+        """Snapshot values (shadow bitcells); resets seq/poison tracking."""
+        if self._checkpoint is not None:
+            raise RuntimeError("checkpoint already active")
+        self._checkpoint = list(self.values)
+        self.poison = [0] * NUM_REGS
+        self.last_writer = [NO_WRITER] * NUM_REGS
+
+    def restore(self) -> None:
+        """Squash: roll values back to the checkpoint, clear tracking."""
+        if self._checkpoint is None:
+            raise RuntimeError("no checkpoint to restore")
+        self.values = list(self._checkpoint)
+        self._checkpoint = None
+        self.poison = [0] * NUM_REGS
+        self.last_writer = [NO_WRITER] * NUM_REGS
+
+    def release(self) -> None:
+        """Commit: drop the checkpoint, advance state is architectural."""
+        if self._checkpoint is None:
+            raise RuntimeError("no checkpoint to release")
+        self._checkpoint = None
+        self.last_writer = [NO_WRITER] * NUM_REGS
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read(self, reg: int):
+        """(value, poison_mask) of ``reg``."""
+        return self.values[reg], self.poison[reg]
+
+    def poison_of(self, reg: int) -> int:
+        return self.poison[reg]
+
+    def any_poisoned(self) -> bool:
+        return any(self.poison)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write_normal(self, reg: int, value) -> None:
+        """Plain in-order write (no checkpoint active)."""
+        if reg == ZERO_REG:
+            return
+        self.values[reg] = value
+        self.poison[reg] = 0
+
+    def write_advance(self, reg: int, value, seq: int, poison_mask: int = 0) -> None:
+        """Advance-mode writeback.
+
+        All advance instructions — poisoned or not — stamp their seq as
+        the register's last writer; only non-poisoned ones deposit a
+        value.
+        """
+        if reg == ZERO_REG:
+            return
+        self.last_writer[reg] = seq
+        self.poison[reg] = poison_mask
+        if not poison_mask:
+            self.values[reg] = value
+
+    def write_rally(self, reg: int, value, seq: int, poison_mask: int = 0) -> bool:
+        """Rally-mode merge, gated by the last-writer sequence number.
+
+        Returns True if the write landed (this slice instruction is
+        still the register's architecturally-youngest writer).
+        """
+        if reg == ZERO_REG:
+            return False
+        if self.last_writer[reg] != seq:
+            return False  # younger writer exists: suppress (WAW guard)
+        self.poison[reg] = poison_mask
+        if not poison_mask:
+            self.values[reg] = value
+        return True
+
+
+class ScratchRegFile:
+    """RF1: temporary storage for slice re-execution (rallies).
+
+    Tracks, per register: the value produced by the youngest processed
+    slice instruction, its poison vector, the cycle the value becomes
+    available (for rally timing), and the seq of the slice instruction
+    that wrote it (so rally consumers bind to the right producer).
+    """
+
+    def __init__(self) -> None:
+        self.values: list = [0] * NUM_REGS
+        self.poison: list[int] = [0] * NUM_REGS
+        self.ready: list[int] = [0] * NUM_REGS
+        self.writer_seq: list[int] = [NO_WRITER] * NUM_REGS
+
+    def clear(self) -> None:
+        self.values = [0] * NUM_REGS
+        self.poison = [0] * NUM_REGS
+        self.ready = [0] * NUM_REGS
+        self.writer_seq = [NO_WRITER] * NUM_REGS
+
+    def write(self, reg: int, value, seq: int, ready_cycle: int,
+              poison_mask: int = 0) -> None:
+        if reg == ZERO_REG:
+            return
+        self.values[reg] = value
+        self.poison[reg] = poison_mask
+        self.ready[reg] = ready_cycle
+        self.writer_seq[reg] = seq
+
+    def read(self, reg: int):
+        """(value, poison_mask, ready_cycle)."""
+        return self.values[reg], self.poison[reg], self.ready[reg]

@@ -1,0 +1,391 @@
+"""Cycle-level in-order core model.
+
+:class:`CoreModel` is both the vanilla in-order baseline *and* the
+substrate the latency-tolerant models (Runahead, Multipass, SLTP, iCFP)
+subclass.  Per cycle it runs four phases::
+
+    begin_cycle()   # miss returns, mode transitions (subclass hook)
+    do_issue()      # in-order issue of up to `width` instructions
+    do_fetch()      # refill the fetch queue through the I$ + predictor
+    drain + end_cycle()
+
+The model is execute-driven over a pre-materialised dynamic trace:
+instructions know their operands, addresses, and branch outcomes, so
+timing decisions (stall-on-use, forwarding, miss classification) are
+made with real dataflow, and re-execution (rallies, runahead replays)
+revisits the same trace records.
+
+A vanilla in-order pipeline stalls at the first instruction that *uses*
+a missing load's result — not at the miss itself — which the scoreboard
+reproduces naturally; independent misses already overlap through the
+non-blocking hierarchy's MSHRs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..branch.predictor import BranchPredictor
+from ..functional.trace import DynInst, Trace
+from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..isa.registers import NUM_REGS, ZERO_REG
+from ..memory.hierarchy import MemoryHierarchy, MemResult
+from ..pipeline.config import MachineConfig
+from ..pipeline.resources import PortSet
+from ..pipeline.stats import CoreStats
+from ..pipeline.store_queue import StoreQueue
+from .result import SimResult
+
+#: try_issue outcomes.
+ISSUED = "issued"
+STALLED = "stalled"
+
+
+class FetchEntry:
+    """A fetched instruction waiting in the front-end latches."""
+
+    __slots__ = ("dyn", "decode_ready", "predicted_ok")
+
+    def __init__(self, dyn: DynInst, decode_ready: int, predicted_ok: bool) -> None:
+        self.dyn = dyn
+        self.decode_ready = decode_ready
+        self.predicted_ok = predicted_ok
+
+
+class SimulationDiverged(RuntimeError):
+    """The cycle loop exceeded the configured safety limit."""
+
+
+class CoreModel:
+    """Vanilla 2-way superscalar in-order pipeline (the paper's baseline)."""
+
+    name = "in-order"
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: MachineConfig | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        predictor: BranchPredictor | None = None,
+    ) -> None:
+        self.trace = trace
+        self.config = config if config is not None else MachineConfig.hpca09()
+        self.hierarchy = (
+            hierarchy if hierarchy is not None
+            else MemoryHierarchy(self.config.hierarchy)
+        )
+        self.predictor = predictor if predictor is not None else BranchPredictor()
+        self.stats = CoreStats()
+
+        self.cycle = 0
+        self.reg_ready = [0] * NUM_REGS
+        self.fetch_queue: deque[FetchEntry] = deque()
+        self.cursor = 0
+        self.fetch_blocked = False
+        self.fetch_resume_cycle = 0
+        self._ifetch_ready = 0
+        self._last_fetch_line = -1
+        self.ports = PortSet(self.config.int_ports, self.config.mem_ports)
+        self.store_queue = StoreQueue(self.config.store_buffer_entries)
+        self.committed_memory: dict[int, object] = {}
+        self.last_completion = 0
+        self.returned_mshrs = []
+        self._progress = False
+        if self.config.warm_icache:
+            self._warm_icache()
+        if self.config.warm_dcache:
+            self._warm_dcache()
+
+    def _warm_icache(self) -> None:
+        """Pre-install the program's code lines in the L1I and L2."""
+        cfg = self.config.hierarchy
+        from ..isa.program import CODE_BASE, INST_BYTES
+
+        code_bytes = len(self.trace.program) * INST_BYTES
+        for pc in range(CODE_BASE, CODE_BASE + code_bytes, cfg.l1i.line_bytes):
+            self.hierarchy.l2.insert(cfg.l2.line_addr(pc))
+            self.hierarchy.l1i.insert(cfg.l1i.line_addr(pc))
+
+    def _warm_dcache(self) -> None:
+        """Pre-install the data image's lines in the L2 (not the L1D).
+
+        Descending address order: kernels place hot structures at low
+        addresses and cold regions high, so inserting high-to-low leaves
+        the low (hot) lines most-recently-used when a structure exceeds
+        the L2.  The L1 is deliberately left cold: hot working sets
+        re-warm through cheap L2 hits within the first couple of
+        thousand instructions, while scan windows larger than the L1
+        would thrash it from any starting state — pre-filling it would
+        only distort the first pass.
+        """
+        cfg = self.config.hierarchy
+        # Descending insertion leaves the lowest `assoc` lines of every
+        # set resident; everything else would be evicted immediately, so
+        # skip inserting it at all (pure construction-time optimisation).
+        per_set: dict[int, int] = {}
+        assoc = cfg.l2.assoc
+        for addr in sorted(self.trace.program.data):
+            l2_line = cfg.l2.line_addr(addr)
+            set_index = cfg.l2.set_index(l2_line)
+            count = per_set.get(set_index, 0)
+            if count >= assoc:
+                continue
+            if self.hierarchy.l2.insert(l2_line) is None and True:
+                pass
+            per_set[set_index] = count + 1
+        hot = self.trace.program.hot_region
+        if hot is not None:
+            for addr in range(hot[0], hot[1], cfg.l1d.line_bytes):
+                self.hierarchy.l1d.insert(cfg.l1d.line_addr(addr))
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def run(self) -> SimResult:
+        """Simulate to completion and return the result."""
+        max_cycles = self.config.max_cycles
+        while not self.done():
+            if self.cycle > max_cycles:
+                raise SimulationDiverged(
+                    f"{self.name}: exceeded {max_cycles} cycles "
+                    f"({self.stats.instructions}/{len(self.trace)} committed)"
+                )
+            self.step_cycle()
+        self.stats.cycles = max(self.cycle, self.last_completion)
+        self.stats.branch_mispredicts = self.predictor.mispredictions
+        return SimResult(self.name, self.trace.program.name, self.stats)
+
+    def step_cycle(self) -> None:
+        """Advance the simulation by one cycle (tests drive this directly
+        to observe or perturb mid-flight state)."""
+        self.cycle += 1
+        self._progress = False
+        self.begin_cycle()
+        self.do_issue()
+        self.do_fetch()
+        if self.store_queue.drain_step(self.hierarchy, self.cycle,
+                                       self.committed_memory):
+            self._progress = True
+        self.end_cycle()
+        if not self._progress:
+            self._skip_idle_cycles()
+
+    def done(self) -> bool:
+        return (
+            self.cursor >= len(self.trace)
+            and not self.fetch_queue
+            and self.store_queue.empty
+            and self.cycle >= self.last_completion
+        )
+
+    # ==================================================================
+    # per-cycle phases (subclass hooks)
+    # ==================================================================
+    def begin_cycle(self) -> None:
+        """Default: collect miss-return events for this cycle."""
+        self.returned_mshrs = self.hierarchy.retire_mshrs(self.cycle)
+
+    def end_cycle(self) -> None:
+        """Subclass hook (mode-exit checks and the like)."""
+
+    def do_issue(self) -> None:
+        """In-order issue of up to ``width`` instructions."""
+        self.ports.reset()
+        slots = self.config.width
+        while slots > 0 and self.fetch_queue:
+            entry = self.fetch_queue[0]
+            if entry.decode_ready > self.cycle:
+                break
+            if self.try_issue(entry) is not ISSUED:
+                break
+            self.fetch_queue.popleft()
+            self._progress = True
+            slots -= 1
+
+    def do_fetch(self) -> None:
+        """Fetch up to ``width`` instructions through the I$."""
+        cfg = self.config
+        if self.fetch_blocked or self.cycle < self.fetch_resume_cycle:
+            return
+        fetched = 0
+        line_bytes = cfg.hierarchy.l1i.line_bytes
+        while (
+            fetched < cfg.width
+            and len(self.fetch_queue) < cfg.fetch_queue_depth
+            and self.cursor < len(self.trace)
+        ):
+            dyn = self.trace[self.cursor]
+            line = dyn.pc // line_bytes
+            if line != self._last_fetch_line:
+                result = self.hierarchy.fetch_access(dyn.pc, self.cycle)
+                if result.stalled:
+                    break
+                self._last_fetch_line = line
+                self._ifetch_ready = result.ready_cycle
+            # Pipelined front end: decode+reg-read after the (possibly
+            # stale-line) I$ data returns, never less than the full
+            # fetch-to-issue depth from this cycle.
+            decode_ready = max(self.cycle + cfg.frontend_depth,
+                               self._ifetch_ready + 2)
+            predicted_ok = True
+            if dyn.is_control:
+                predicted_ok = self.predictor.predict(dyn)
+            self.fetch_queue.append(FetchEntry(dyn, decode_ready, predicted_ok))
+            self.cursor += 1
+            fetched += 1
+            self._progress = True
+            if dyn.is_control and not predicted_ok:
+                # Wrong path from here: hold fetch until the branch resolves.
+                self.fetch_blocked = True
+                break
+            if dyn.taken:
+                # Correctly predicted taken: one-cycle redirect bubble.
+                self.fetch_resume_cycle = self.cycle + 1
+                self._last_fetch_line = -1
+                break
+
+    # ==================================================================
+    # issue + execute
+    # ==================================================================
+    def try_issue(self, entry: FetchEntry) -> str:
+        """Attempt to issue the head instruction this cycle."""
+        dyn = entry.dyn
+        stalls = self.stats.stalls
+        if not self.ports.available(dyn.opclass):
+            stalls.port += 1
+            return STALLED
+        for src in dyn.srcs:
+            if self.reg_ready[src] > self.cycle:
+                stalls.src_wait += 1
+                return STALLED
+        dst = dyn.dst
+        if dst is not None and dst != ZERO_REG and self.reg_ready[dst] > self.cycle:
+            stalls.waw_wait += 1
+            return STALLED
+        completion = self.execute(dyn, entry)
+        if completion is None:
+            return STALLED
+        self.ports.acquire(dyn.opclass)
+        self.commit(dyn, entry, completion)
+        return ISSUED
+
+    def execute(self, dyn: DynInst, entry: FetchEntry) -> int | None:
+        """Compute the completion cycle; None on a structural stall."""
+        opclass = dyn.opclass
+        if opclass is OpClass.LOAD:
+            return self.execute_load(dyn)
+        if opclass is OpClass.STORE:
+            return self.execute_store(dyn)
+        return self.cycle + EXEC_LATENCY[opclass]
+
+    def execute_load(self, dyn: DynInst) -> int | None:
+        hit = self.store_queue.forward(dyn.addr)
+        if hit is not None:
+            self.stats.store_forward_hits += 1
+            return self.cycle + self.config.hierarchy.l1d.hit_latency
+        result = self.hierarchy.data_access(dyn.addr, self.cycle)
+        if result.stalled:
+            self.stats.stalls.mshr_full += 1
+            return None
+        self.record_miss(result)
+        return result.ready_cycle
+
+    def execute_store(self, dyn: DynInst) -> int | None:
+        if self.store_queue.full:
+            self.stats.stalls.store_buffer_full += 1
+            return None
+        self.store_queue.push(dyn.addr, dyn.store_val, self.cycle)
+        return self.cycle + 1
+
+    def commit(self, dyn: DynInst, entry: FetchEntry, completion: int) -> None:
+        """Book-keeping for a successfully issued instruction."""
+        if dyn.dst is not None:
+            self.reg_ready[dyn.dst] = completion
+        self.stats.instructions += 1
+        if dyn.is_load:
+            self.stats.loads += 1
+        elif dyn.is_store:
+            self.stats.stores += 1
+        if dyn.is_branch:
+            self.stats.branches += 1
+        if dyn.is_control:
+            self.resolve_control(dyn, entry, completion)
+        if completion > self.last_completion:
+            self.last_completion = completion
+
+    def resolve_control(self, dyn: DynInst, entry: FetchEntry, completion: int) -> None:
+        self.predictor.update(dyn)
+        if not entry.predicted_ok:
+            # Redirect the front end at resolve; refill penalty follows
+            # from the decode_ready computed at the new fetch time.
+            self.fetch_blocked = False
+            self.fetch_resume_cycle = completion
+            self._last_fetch_line = -1
+
+    def record_miss(self, result: MemResult) -> None:
+        """Fold one hierarchy access into miss/MLP statistics."""
+        if result.level == "mshr":
+            self.stats.secondary_misses += 1
+        elif result.l1_miss:
+            self.stats.l1d_misses += 1
+        if result.l2_miss:
+            self.stats.l2_misses += 1
+        if result.new_fill:
+            self.stats.d_mlp.add(self.cycle, result.ready_cycle)
+            if result.l2_miss:
+                self.stats.l2_mlp.add(self.cycle, result.ready_cycle)
+
+    # ==================================================================
+    # idle-cycle skipping
+    # ==================================================================
+    def _skip_idle_cycles(self) -> None:
+        """Jump the clock to the next cycle anything can happen.
+
+        Pure optimisation: when a cycle makes no progress, every wake-up
+        source is a known future timestamp (operand ready times, fetch
+        redirect, store drain, MSHR fills, subclass events), so the loop
+        may fast-forward to the earliest of them.
+        """
+        candidates: list[int] = []
+        if self.fetch_queue:
+            candidates.append(self._head_wakeup(self.fetch_queue[0]))
+        elif self.cursor < len(self.trace):
+            if not self.fetch_blocked:
+                candidates.append(max(self.fetch_resume_cycle, self._ifetch_ready))
+        drain = self.store_queue.next_event(self.cycle)
+        if drain is not None:
+            candidates.append(drain)
+        for mshr in self.hierarchy.mshrs.pending():
+            candidates.append(mshr.ready_cycle)
+        for mshr in self.hierarchy.ifetch_mshrs.pending():
+            candidates.append(mshr.ready_cycle)
+        hint = self.next_event_hint()
+        if hint is not None:
+            candidates.append(hint)
+        if self.cycle < self.last_completion:
+            candidates.append(self.last_completion)
+        future = [c for c in candidates if c > self.cycle]
+        if not future:
+            return
+        target = min(future)
+        if target > self.cycle + 1:
+            self.cycle = target - 1  # the loop increments before phases
+
+    def next_event_hint(self) -> int | None:
+        """Subclass hook: earliest future cycle the subclass cares about."""
+        return None
+
+    def _head_wakeup(self, entry: FetchEntry) -> int:
+        """Earliest cycle the queue head could issue (for idle skipping).
+
+        The base model stalls on source *and* destination (WAW)
+        readiness; latency-tolerant subclasses override this to match
+        their own stall rules.
+        """
+        earliest = entry.decode_ready
+        for src in entry.dyn.srcs:
+            earliest = max(earliest, self.reg_ready[src])
+        dst = entry.dyn.dst
+        if dst is not None and dst != ZERO_REG:
+            earliest = max(earliest, self.reg_ready[dst])
+        return earliest

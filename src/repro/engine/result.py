@@ -1,0 +1,54 @@
+"""Simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pipeline.stats import CoreStats
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation.
+
+    ``model`` names the microarchitecture ("in-order", "runahead",
+    "multipass", "sltp", "icfp"), ``workload`` the kernel.  Speedups are
+    cycle ratios — all models of a workload execute the same dynamic
+    instruction stream, so cycles are directly comparable.
+    """
+
+    model: str
+    workload: str
+    stats: CoreStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Speedup of this run relative to ``baseline`` (1.0 = equal)."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"cannot compare {self.workload!r} against {baseline.workload!r}"
+            )
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def percent_speedup_over(self, baseline: "SimResult") -> float:
+        """Percent speedup as plotted in Figures 5-8."""
+        return (self.speedup_over(baseline) - 1.0) * 100.0
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.model}/{self.workload}: {self.cycles} cycles, "
+            f"{self.instructions} insts, IPC {self.ipc:.3f}"
+        )

@@ -1,0 +1,15 @@
+"""Functional simulation: golden-reference execution and trace capture."""
+
+from .executor import ExecutionError, FunctionalExecutor, run_program
+from .state import ArchState, to_signed64
+from .trace import DynInst, Trace
+
+__all__ = [
+    "ArchState",
+    "to_signed64",
+    "DynInst",
+    "Trace",
+    "FunctionalExecutor",
+    "ExecutionError",
+    "run_program",
+]

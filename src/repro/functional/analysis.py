@@ -1,0 +1,166 @@
+"""Trace analysis: the workload-characterisation toolkit.
+
+These are the measurements the workload suite was tuned with (DESIGN.md
+§2) and the quantities the paper reasons about qualitatively: how much
+instruction-level parallelism a trace has (dataflow height), how deep
+its load-load dependence chains run (pointer chasing — the dependent
+misses of Figures 1c/1d), and how its working set grows (which cache
+levels its misses will come from).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..isa.registers import NUM_REGS, ZERO_REG
+from .trace import Trace
+
+
+@dataclass
+class DataflowStats:
+    """Register-dataflow structure of a trace."""
+
+    #: Length of the longest register dependence chain.
+    critical_path: int
+    #: len(trace) / critical_path — the trace's inherent ILP bound.
+    ilp_bound: float
+    #: Mean distance (in dynamic instructions) from producer to consumer.
+    mean_dependence_distance: float
+
+
+def dataflow_stats(trace: Trace) -> DataflowStats:
+    """Compute dataflow height and dependence distances.
+
+    Memory dependences are ignored (the timing models handle those via
+    the store buffer); this is the register-dataflow bound an idealised
+    machine with perfect memory could reach.
+    """
+    depth = [0] * NUM_REGS
+    writer_index = [-1] * NUM_REGS
+    critical = 0
+    distance_sum = 0
+    distance_count = 0
+    for dyn in trace:
+        height = 0
+        for src in dyn.srcs:
+            if src == ZERO_REG:
+                continue
+            height = max(height, depth[src])
+            if writer_index[src] >= 0:
+                distance_sum += dyn.index - writer_index[src]
+                distance_count += 1
+        height += 1
+        if dyn.dst is not None and dyn.dst != ZERO_REG:
+            depth[dyn.dst] = height
+            writer_index[dyn.dst] = dyn.index
+        critical = max(critical, height)
+    n = len(trace)
+    return DataflowStats(
+        critical_path=critical,
+        ilp_bound=(n / critical) if critical else 0.0,
+        mean_dependence_distance=(
+            distance_sum / distance_count if distance_count else 0.0
+        ),
+    )
+
+
+@dataclass
+class LoadChainStats:
+    """Load-to-load dependence structure (pointer-chasing signature)."""
+
+    #: Depth of the deepest load->load dependence chain.
+    max_chain_depth: int
+    #: Fraction of loads whose address depends on another load.
+    chained_load_fraction: float
+    #: Histogram {chain depth -> number of loads at that depth}.
+    depth_histogram: dict[int, int]
+
+
+def load_chain_stats(trace: Trace) -> LoadChainStats:
+    """Classify loads by their load-dependence depth.
+
+    Depth 0: address computed from non-load values (art-style streams).
+    Depth k: address transitively depends on k earlier loads (mcf-style
+    chains — each level is a serialised memory round trip).
+    """
+    load_depth = [0] * NUM_REGS  # per register: loads feeding its value
+    histogram: Counter[int] = Counter()
+    loads = 0
+    chained = 0
+    max_depth = 0
+    for dyn in trace:
+        height = 0
+        for src in dyn.srcs:
+            if src != ZERO_REG:
+                height = max(height, load_depth[src])
+        if dyn.is_load:
+            loads += 1
+            histogram[height] += 1
+            if height > 0:
+                chained += 1
+            max_depth = max(max_depth, height)
+            result_depth = height + 1
+        else:
+            result_depth = height
+        if dyn.dst is not None and dyn.dst != ZERO_REG:
+            load_depth[dyn.dst] = result_depth
+    return LoadChainStats(
+        max_chain_depth=max_depth,
+        chained_load_fraction=(chained / loads) if loads else 0.0,
+        depth_histogram=dict(histogram),
+    )
+
+
+@dataclass
+class WorkingSetStats:
+    """Footprint growth of a trace's data accesses."""
+
+    #: Total distinct 64-byte lines touched.
+    total_lines: int
+    #: Lines needed to cover the given fraction of accesses.
+    lines_for_90_percent: int
+    #: line -> access count, most-touched first (truncated to top_n).
+    hottest_lines: list[tuple[int, int]]
+
+
+def working_set_stats(trace: Trace, line_bytes: int = 64,
+                      top_n: int = 8) -> WorkingSetStats:
+    """Measure the data working set and its concentration."""
+    counts: Counter[int] = Counter()
+    for dyn in trace:
+        if dyn.addr is not None:
+            counts[dyn.addr // line_bytes] += 1
+    if not counts:
+        return WorkingSetStats(0, 0, [])
+    total_accesses = sum(counts.values())
+    covered = 0
+    lines_needed = 0
+    for _, count in counts.most_common():
+        covered += count
+        lines_needed += 1
+        if covered >= 0.9 * total_accesses:
+            break
+    return WorkingSetStats(
+        total_lines=len(counts),
+        lines_for_90_percent=lines_needed,
+        hottest_lines=counts.most_common(top_n),
+    )
+
+
+def characterise(trace: Trace) -> str:
+    """One-paragraph textual characterisation of a trace."""
+    flow = dataflow_stats(trace)
+    chains = load_chain_stats(trace)
+    footprint = working_set_stats(trace)
+    kind = "pointer-chasing" if chains.chained_load_fraction > 0.3 else (
+        "streaming/compute")
+    return (
+        f"{len(trace)} instructions, ILP bound {flow.ilp_bound:.1f} "
+        f"(critical path {flow.critical_path}); "
+        f"{trace.num_loads} loads of which "
+        f"{chains.chained_load_fraction:.0%} are load-chained "
+        f"(max depth {chains.max_chain_depth}) -> {kind}; "
+        f"{footprint.total_lines} lines touched, 90% of accesses in "
+        f"{footprint.lines_for_90_percent}"
+    )

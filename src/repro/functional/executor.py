@@ -1,0 +1,171 @@
+"""Functional executor: runs programs and materialises dynamic traces."""
+
+from __future__ import annotations
+
+from ..isa.instructions import Opcode
+from ..isa.program import CODE_BASE, INST_BYTES, Program, pc_of
+from .state import ArchState, to_signed64
+from .trace import DynInst, Trace
+
+
+class ExecutionError(RuntimeError):
+    """Raised on invalid execution (bad PC, unaligned access, ...)."""
+
+
+class FunctionalExecutor:
+    """Interprets programs over :class:`ArchState`.
+
+    The executor is the golden reference: every timing model's committed
+    architectural state is compared against :attr:`state` after a run.
+    """
+
+    def __init__(self, program: Program, initial_state: ArchState | None = None) -> None:
+        self.program = program
+        self.state = initial_state if initial_state is not None else ArchState()
+        if initial_state is None:
+            for addr, value in program.data.items():
+                self.state.memory[addr] = value
+        self.pc = CODE_BASE
+        self.halted = False
+        self.dynamic_count = 0
+
+    # ------------------------------------------------------------------
+    def step(self) -> DynInst:
+        """Execute one instruction, returning its dynamic record."""
+        if self.halted:
+            raise ExecutionError("program already halted")
+        index = (self.pc - CODE_BASE) // INST_BYTES
+        if not 0 <= index < len(self.program.instructions):
+            raise ExecutionError(f"PC out of range: {self.pc:#x}")
+        inst = self.program.instructions[index]
+        dyn = DynInst(self.dynamic_count, self.pc, inst)
+        self.dynamic_count += 1
+        self._execute(dyn)
+        self.pc = dyn.next_pc
+        return dyn
+
+    def run(self, max_instructions: int = 1_000_000) -> Trace:
+        """Run to ``halt`` or until ``max_instructions``; return the trace."""
+        insts: list[DynInst] = []
+        while not self.halted and len(insts) < max_instructions:
+            insts.append(self.step())
+        return Trace(
+            program=self.program,
+            insts=insts,
+            final_state=self.state.copy(),
+            completed=self.halted,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, dyn: DynInst) -> None:
+        state = self.state
+        inst = dyn.inst
+        op = inst.op
+        vals = tuple(state.read_reg(s) for s in inst.srcs)
+        dyn.src_vals = vals
+
+        if op is Opcode.ADD:
+            result = to_signed64(vals[0] + vals[1])
+        elif op is Opcode.SUB:
+            result = to_signed64(vals[0] - vals[1])
+        elif op is Opcode.AND:
+            result = to_signed64(vals[0] & vals[1])
+        elif op is Opcode.OR:
+            result = to_signed64(vals[0] | vals[1])
+        elif op is Opcode.XOR:
+            result = to_signed64(vals[0] ^ vals[1])
+        elif op is Opcode.SLT:
+            result = 1 if vals[0] < vals[1] else 0
+        elif op is Opcode.SHL:
+            result = to_signed64(vals[0] << (vals[1] & 63))
+        elif op is Opcode.SHR:
+            result = to_signed64((vals[0] & ((1 << 64) - 1)) >> (vals[1] & 63))
+        elif op is Opcode.ADDI:
+            result = to_signed64(vals[0] + inst.imm)
+        elif op is Opcode.ANDI:
+            result = to_signed64(vals[0] & inst.imm)
+        elif op is Opcode.ORI:
+            result = to_signed64(vals[0] | inst.imm)
+        elif op is Opcode.SLTI:
+            result = 1 if vals[0] < inst.imm else 0
+        elif op is Opcode.SHLI:
+            result = to_signed64(vals[0] << (inst.imm & 63))
+        elif op is Opcode.LUI:
+            result = to_signed64(inst.imm)
+        elif op is Opcode.MUL:
+            result = to_signed64(vals[0] * vals[1])
+        elif op is Opcode.FADD:
+            result = vals[0] + vals[1]
+        elif op is Opcode.FSUB:
+            result = vals[0] - vals[1]
+        elif op is Opcode.FMUL:
+            result = vals[0] * vals[1]
+        elif op is Opcode.FMADD:
+            result = vals[0] * vals[1] + vals[2]
+        elif op is Opcode.CVTIF:
+            result = float(vals[0])
+        elif op is Opcode.CVTFI:
+            result = to_signed64(int(vals[0]))
+        elif op is Opcode.LD or op is Opcode.LDF:
+            addr = to_signed64(vals[0] + inst.imm)
+            dyn.addr = addr
+            result = state.read_mem(addr)
+            if op is Opcode.LDF and isinstance(result, int):
+                result = float(result)
+        elif op is Opcode.ST or op is Opcode.STF:
+            addr = to_signed64(vals[0] + inst.imm)
+            dyn.addr = addr
+            dyn.store_val = vals[1]
+            state.write_mem(addr, vals[1])
+            return
+        elif op is Opcode.BEQ:
+            self._branch(dyn, vals[0] == vals[1])
+            return
+        elif op is Opcode.BNE:
+            self._branch(dyn, vals[0] != vals[1])
+            return
+        elif op is Opcode.BLT:
+            self._branch(dyn, vals[0] < vals[1])
+            return
+        elif op is Opcode.BGE:
+            self._branch(dyn, vals[0] >= vals[1])
+            return
+        elif op is Opcode.J:
+            self._jump(dyn, pc_of(self.program.labels[inst.target]))
+            return
+        elif op is Opcode.JAL:
+            result = dyn.pc + INST_BYTES
+            state.write_reg(inst.dst, result)
+            dyn.result = result
+            self._jump(dyn, pc_of(self.program.labels[inst.target]))
+            return
+        elif op is Opcode.JR:
+            self._jump(dyn, vals[0])
+            return
+        elif op is Opcode.HALT:
+            self.halted = True
+            return
+        elif op is Opcode.NOP:
+            return
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unimplemented opcode: {op}")
+
+        state.write_reg(inst.dst, result)
+        dyn.result = result
+
+    def _branch(self, dyn: DynInst, taken: bool) -> None:
+        target = pc_of(self.program.labels[dyn.inst.target])
+        dyn.taken = taken
+        dyn.target_pc = target
+        if taken:
+            dyn.next_pc = target
+
+    def _jump(self, dyn: DynInst, target: int) -> None:
+        dyn.taken = True
+        dyn.target_pc = target
+        dyn.next_pc = target
+
+
+def run_program(program: Program, max_instructions: int = 1_000_000) -> Trace:
+    """Convenience wrapper: execute ``program`` and return its trace."""
+    return FunctionalExecutor(program).run(max_instructions=max_instructions)

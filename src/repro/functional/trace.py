@@ -1,0 +1,156 @@
+"""Dynamic instruction traces.
+
+The functional executor materialises each program into an indexable
+:class:`Trace` of :class:`DynInst` records.  Timing models *replay*
+traces: Runahead re-execution, Multipass passes, and iCFP rallies all
+revisit the same records.  Records carry values (operands, results,
+addresses) so that iCFP's merge and forwarding machinery can be checked
+for architectural correctness, not just timed.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Instruction, OpClass
+from ..isa.program import Program
+
+
+class DynInst:
+    """One dynamic instruction instance.
+
+    Attributes
+    ----------
+    index:
+        Position in the dynamic stream (0-based).
+    pc / next_pc:
+        Byte PC of this instruction and of its dynamic successor.
+    inst:
+        The static :class:`Instruction`.
+    srcs / dst:
+        Flat register operands (copies of the static operands, kept here
+        because the timing inner loops touch them constantly).
+    src_vals:
+        Operand values read during functional execution.
+    result:
+        Value written to ``dst`` (loads: the loaded value), else ``None``.
+    addr:
+        Byte address for memory operations, else ``None``.
+    store_val:
+        Value written to memory for stores, else ``None``.
+    taken / target_pc:
+        Control-flow outcome for branches and jumps.
+    """
+
+    __slots__ = (
+        "index",
+        "pc",
+        "next_pc",
+        "inst",
+        "op",
+        "opclass",
+        "srcs",
+        "dst",
+        "src_vals",
+        "result",
+        "addr",
+        "store_val",
+        "taken",
+        "target_pc",
+    )
+
+    def __init__(self, index: int, pc: int, inst: Instruction) -> None:
+        self.index = index
+        self.pc = pc
+        self.next_pc = pc + 4
+        self.inst = inst
+        self.op = inst.op
+        self.opclass = inst.opclass
+        self.srcs = inst.srcs
+        self.dst = inst.dst
+        self.src_vals: tuple = ()
+        self.result = None
+        self.addr: int | None = None
+        self.store_val = None
+        self.taken = False
+        self.target_pc: int | None = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass is OpClass.BRANCH or self.opclass is OpClass.JUMP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.addr is not None:
+            extra = f" @{self.addr:#x}"
+        return f"<DynInst #{self.index} pc={self.pc:#x} {self.inst}{extra}>"
+
+
+class Trace:
+    """An indexable dynamic instruction stream plus final state.
+
+    Attributes
+    ----------
+    program:
+        The program that generated the trace.
+    insts:
+        Dynamic instruction records in execution order.
+    final_state:
+        Architectural state after the last traced instruction — the
+        golden reference for timing-model validation.
+    completed:
+        True when the program reached ``halt`` within the instruction
+        budget; False when the trace was truncated at the budget.
+    """
+
+    def __init__(self, program: Program, insts, final_state, completed: bool) -> None:
+        self.program = program
+        self.insts = insts
+        self.final_state = final_state
+        self.completed = completed
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __getitem__(self, index: int) -> DynInst:
+        return self.insts[index]
+
+    def __iter__(self):
+        return iter(self.insts)
+
+    # ------------------------------------------------------------------
+    # characterisation helpers (used by workload tuning tests/benches)
+    # ------------------------------------------------------------------
+    def count(self, predicate) -> int:
+        return sum(1 for d in self.insts if predicate(d))
+
+    @property
+    def num_loads(self) -> int:
+        return self.count(lambda d: d.is_load)
+
+    @property
+    def num_stores(self) -> int:
+        return self.count(lambda d: d.is_store)
+
+    @property
+    def num_branches(self) -> int:
+        return self.count(lambda d: d.is_branch)
+
+    def mem_footprint_lines(self, line_bytes: int = 64) -> int:
+        """Distinct cache lines touched by data accesses."""
+        lines = {d.addr // line_bytes for d in self.insts if d.addr is not None}
+        return len(lines)

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every experiment in the paper's evaluation is reachable from the shell,
+so results can be regenerated without writing Python:
+
+.. code-block:: sh
+
+    python -m repro characterize            # Table 2 left columns
+    python -m repro figure5 -n 20000        # the headline comparison
+    python -m repro figure6 -w equake_like  # latency sensitivity
+    python -m repro figure7                 # SLTP -> iCFP feature build
+    python -m repro figure8                 # store-buffer disciplines
+    python -m repro table2                  # miss rates + MLP + rallies
+    python -m repro scenarios               # Figure 1 micro-timelines
+    python -m repro area                    # Section 5.3 overheads
+    python -m repro run mcf_like icfp       # one kernel on one model
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from ..workloads import ALL_KERNELS
+from .experiment import MODELS, ExperimentConfig, run_workload
+from .figures import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+)
+from .scenarios import run_all_scenarios
+from .sweep import chain_table_sweep, format_sweep, poison_bits_sweep
+from .tables import format_area_table, format_table2, table2
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="dynamic instructions per kernel")
+    parser.add_argument("-w", "--workloads", type=str, default=None,
+                        help="comma-separated kernel subset")
+    parser.add_argument("--l2-latency", type=int, default=20,
+                        help="L2 hit latency in cycles (Table 1: 20)")
+    parser.add_argument("--cold", action="store_true",
+                        help="skip the cache warm-up phase")
+
+
+def _config(args) -> ExperimentConfig:
+    config = ExperimentConfig(l2_hit_latency=args.l2_latency,
+                              warm=not args.cold)
+    if args.instructions is not None:
+        config = dataclasses.replace(config, instructions=args.instructions)
+    return config
+
+
+def _workloads(args):
+    if args.workloads is None:
+        return None
+    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_KERNELS]
+    if unknown:
+        raise SystemExit(f"unknown kernels: {unknown}")
+    return names
+
+
+def cmd_characterize(args) -> None:
+    from ..baselines import InOrderCore
+    from ..workloads import trace_by_name
+
+    config = _config(args)
+    names = _workloads(args) or list(ALL_KERNELS)
+    print(f"{'kernel':16s} {'IPC':>6s} {'D$/KI':>7s} {'L2/KI':>7s} "
+          f"{'brMPKI':>7s}")
+    for name in names:
+        trace = trace_by_name(name, config.instructions)
+        result = InOrderCore(trace, config=config.machine_config()).run()
+        d, l2 = result.stats.misses_per_ki()
+        br = result.stats.branch_mispredicts * 1000 / max(1, len(trace))
+        print(f"{name:16s} {result.ipc:6.3f} {d:7.1f} {l2:7.1f} {br:7.1f}")
+
+
+def cmd_figure5(args) -> None:
+    print(format_figure5(figure5(_config(args), workloads=_workloads(args))))
+
+
+def cmd_figure6(args) -> None:
+    workloads = _workloads(args) or ["equake_like"]
+    print(format_figure6(figure6(workloads=workloads, config=_config(args))))
+
+
+def cmd_figure7(args) -> None:
+    kwargs = {}
+    workloads = _workloads(args)
+    if workloads:
+        kwargs["workloads"] = tuple(workloads)
+    print(format_figure7(figure7(_config(args), **kwargs)))
+
+
+def cmd_figure8(args) -> None:
+    kwargs = {}
+    workloads = _workloads(args)
+    if workloads:
+        kwargs["workloads"] = tuple(workloads)
+    print(format_figure8(figure8(_config(args), **kwargs)))
+
+
+def cmd_table2(args) -> None:
+    print(format_table2(table2(_config(args), workloads=_workloads(args))))
+
+
+def cmd_scenarios(args) -> None:
+    results = run_all_scenarios()
+    print(f"{'scenario':10s} " + " ".join(f"{m:>10s}" for m in MODELS))
+    for key, cycles in results.items():
+        print(f"figure-1{key:2s} "
+              + " ".join(f"{cycles[m]:10d}" for m in MODELS))
+
+
+def cmd_area(_args) -> None:
+    print(format_area_table())
+
+
+def cmd_sweep(args) -> None:
+    workloads = _workloads(args)
+    if args.parameter == "chain-table":
+        result = chain_table_sweep(workloads=workloads, config=_config(args))
+        print(format_sweep(result, reference=512))
+    else:
+        result = poison_bits_sweep(workloads=workloads, config=_config(args))
+        print(format_sweep(result, reference=1))
+
+
+def cmd_run(args) -> None:
+    config = _config(args)
+    models = (args.model,) if args.model != "all" else MODELS
+    runs = run_workload(args.kernel, models=models, config=config)
+    baseline = runs.get("in-order")
+    for model, result in runs.items():
+        line = (f"{model:12s} {result.cycles:>10d} cycles  "
+                f"IPC {result.ipc:.3f}")
+        if baseline is not None and model != "in-order":
+            line += f"  ({result.percent_speedup_over(baseline):+.1f}%)"
+        stats = result.stats
+        line += (f"  [adv {stats.advance_instructions}, "
+                 f"rally {stats.rally_instructions}, "
+                 f"squash {stats.squashes}]")
+        print(line)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="iCFP (HPCA 2009) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, doc in (
+        ("characterize", cmd_characterize, "in-order kernel characterisation"),
+        ("figure5", cmd_figure5, "speedup over in-order (headline)"),
+        ("figure6", cmd_figure6, "L2 hit-latency sensitivity"),
+        ("figure7", cmd_figure7, "SLTP -> iCFP feature build"),
+        ("figure8", cmd_figure8, "store-buffer disciplines"),
+        ("table2", cmd_table2, "miss rates, MLP, rally overhead"),
+        ("scenarios", cmd_scenarios, "Figure 1 micro-scenarios"),
+        ("area", cmd_area, "Section 5.3 area overheads"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_common(p)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("sweep", help="chain-table / poison-bit sweeps")
+    _add_common(p)
+    p.add_argument("parameter", choices=("chain-table", "poison-bits"))
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("run", help="run one kernel on one model")
+    _add_common(p)
+    p.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    p.add_argument("model", choices=MODELS + ("all",))
+    p.set_defaults(fn=cmd_run)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Experiment runner: one place that knows how to build and run every
+machine model on every workload.
+
+Model configurations follow Section 5.1: Runahead and SLTP advance
+under L2 misses only, Multipass also under primary data-cache misses,
+and iCFP under everything.  The instruction budget per kernel (the
+stand-in for the paper's sampled windows) is controlled by
+``REPRO_INSTRUCTIONS`` (default 6 000); ``REPRO_WORKLOADS`` narrows the
+suite (comma-separated kernel names) for quick runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from dataclasses import dataclass, field
+
+from ..baselines import InOrderCore, MultipassCore, RunaheadCore, SLTPCore
+from ..core.icfp import ICFPCore, ICFPFeatures
+from ..engine.result import SimResult
+from ..functional.trace import Trace
+from ..pipeline.config import MachineConfig
+from ..workloads import ALL_KERNELS, SPECFP, SPECINT, trace_by_name
+
+#: Paper model names in presentation order (Figure 5).
+MODELS = ("in-order", "runahead", "multipass", "sltp", "icfp")
+
+
+def default_instructions() -> int:
+    """Per-kernel dynamic instruction budget (env-overridable)."""
+    return int(os.environ.get("REPRO_INSTRUCTIONS", "6000"))
+
+
+def selected_workloads() -> list[str]:
+    """The kernel list, optionally narrowed by ``REPRO_WORKLOADS``."""
+    env = os.environ.get("REPRO_WORKLOADS")
+    if not env:
+        return list(ALL_KERNELS)
+    names = [n.strip() for n in env.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_KERNELS]
+    if unknown:
+        raise ValueError(f"unknown kernels in REPRO_WORKLOADS: {unknown}")
+    return names
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    instructions: int = field(default_factory=default_instructions)
+    l2_hit_latency: int = 20
+    stream_buffers: int = 8
+    warm: bool = True
+    icfp_features: ICFPFeatures = field(default_factory=ICFPFeatures)
+    runahead_advance_on: str = "l2"
+    multipass_advance_on: str = "l2_d1"
+    sltp_advance_on: str = "l2"
+
+    def machine_config(self) -> MachineConfig:
+        cfg = MachineConfig.hpca09(l2_hit_latency=self.l2_hit_latency,
+                                   stream_buffers=self.stream_buffers)
+        return dataclasses.replace(cfg, warm_dcache=self.warm)
+
+
+def make_core(model: str, trace: Trace, config: ExperimentConfig):
+    """Instantiate a machine model on ``trace``."""
+    machine = config.machine_config()
+    if model == "in-order":
+        return InOrderCore(trace, config=machine)
+    if model == "runahead":
+        return RunaheadCore(trace, config=machine,
+                            advance_on=config.runahead_advance_on)
+    if model == "multipass":
+        return MultipassCore(trace, config=machine,
+                             advance_on=config.multipass_advance_on)
+    if model == "sltp":
+        return SLTPCore(trace, config=machine,
+                        advance_on=config.sltp_advance_on)
+    if model == "icfp":
+        return ICFPCore(trace, config=machine, features=config.icfp_features)
+    raise ValueError(f"unknown model {model!r}; choose from {MODELS}")
+
+
+def run_model(model: str, trace: Trace, config: ExperimentConfig) -> SimResult:
+    return make_core(model, trace, config).run()
+
+
+def run_workload(workload: str, models=MODELS,
+                 config: ExperimentConfig | None = None) -> dict[str, SimResult]:
+    """Run several models over one kernel (one shared trace)."""
+    config = config if config is not None else ExperimentConfig()
+    trace = trace_by_name(workload, instructions=config.instructions)
+    return {model: run_model(model, trace, config) for model in models}
+
+
+def run_suite(models=MODELS, workloads=None,
+              config: ExperimentConfig | None = None
+              ) -> dict[str, dict[str, SimResult]]:
+    """Run ``models`` x ``workloads``; returns results[workload][model]."""
+    config = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    return {w: run_workload(w, models, config) for w in workloads}
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups_over_inorder(results: dict[str, dict[str, SimResult]],
+                          model: str) -> dict[str, float]:
+    """Per-workload speedup of ``model`` over in-order (1.0 = equal)."""
+    return {
+        workload: runs[model].speedup_over(runs["in-order"])
+        for workload, runs in results.items()
+    }
+
+
+def group_geomeans(per_workload: dict[str, float]) -> dict[str, float]:
+    """Geometric means over SPECfp, SPECint, and all (paper convention)."""
+    def over(names):
+        present = [per_workload[n] for n in names if n in per_workload]
+        return geomean(present) if present else float("nan")
+
+    return {
+        "SPECfp": over(SPECFP),
+        "SPECint": over(SPECINT),
+        "SPEC": over(list(per_workload)),
+    }

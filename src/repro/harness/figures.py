@@ -1,0 +1,260 @@
+"""Generators for every figure in the paper's evaluation section.
+
+Each ``figureN`` function returns structured data; each ``format_*``
+renders the paper-style table the benchmarks print.  Shape assertions
+(who wins, roughly by how much) live in the benchmark files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.icfp import ICFPFeatures
+from .experiment import (
+    MODELS,
+    ExperimentConfig,
+    group_geomeans,
+    run_suite,
+    selected_workloads,
+    speedups_over_inorder,
+)
+
+# ----------------------------------------------------------------------
+# Figure 5: Runahead / Multipass / SLTP / iCFP speedup over in-order
+# ----------------------------------------------------------------------
+@dataclass
+class Figure5:
+    """Per-benchmark percent speedups plus group geomeans."""
+
+    workloads: list[str]
+    #: results[model][workload] = percent speedup over in-order.
+    percent: dict[str, dict[str, float]]
+    #: geomeans[model][group] for SPECfp / SPECint / SPEC.
+    geomeans: dict[str, dict[str, float]]
+    baseline_ipc: dict[str, float]
+
+
+def figure5(config: ExperimentConfig | None = None,
+            workloads=None) -> Figure5:
+    config = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    results = run_suite(MODELS, workloads, config)
+    schemes = [m for m in MODELS if m != "in-order"]
+    percent, geomeans = {}, {}
+    for model in schemes:
+        ratios = speedups_over_inorder(results, model)
+        percent[model] = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
+        geomeans[model] = {g: (v - 1.0) * 100.0
+                           for g, v in group_geomeans(ratios).items()}
+    baseline_ipc = {w: results[w]["in-order"].ipc for w in workloads}
+    return Figure5(list(workloads), percent, geomeans, baseline_ipc)
+
+
+def format_figure5(fig: Figure5) -> str:
+    schemes = list(fig.percent)
+    lines = ["Figure 5: % speedup over in-order (20-cycle L2)",
+             f"{'benchmark':16s} {'iO IPC':>7s} " +
+             " ".join(f"{m:>10s}" for m in schemes)]
+    for workload in fig.workloads:
+        row = f"{workload:16s} {fig.baseline_ipc[workload]:7.2f} "
+        row += " ".join(f"{fig.percent[m][workload]:10.1f}" for m in schemes)
+        lines.append(row)
+    for group in ("SPECfp", "SPECint", "SPEC"):
+        row = f"{'gmean ' + group:16s} {'':7s} "
+        row += " ".join(f"{fig.geomeans[m][group]:10.1f}" for m in schemes)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: L2 hit-latency sensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class Figure6:
+    latencies: list[int]
+    #: percent[config_label][latency] = % speedup over in-order at the
+    #: paper's reference point (20-cycle L2 in-order baseline).
+    percent: dict[str, dict[int, float]]
+    workload_group: str
+
+
+#: The six configurations of Figure 6.
+FIGURE6_CONFIGS = (
+    ("RA-L2", "runahead", {"runahead_advance_on": "l2"}),
+    ("RA-L2/D$pri", "runahead", {"runahead_advance_on": "l2_d1"}),
+    ("RA-all", "runahead", {"runahead_advance_on": "all"}),
+    ("iCFP-L2", "icfp", {"icfp_features": ICFPFeatures(advance_on="l2")}),
+    ("iCFP-all", "icfp", {"icfp_features": ICFPFeatures(advance_on="all")}),
+)
+
+
+def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
+            config: ExperimentConfig | None = None) -> Figure6:
+    """Sweep the L2 hit latency across the Figure 6 configurations.
+
+    Following the paper, speedups at every latency are measured against
+    the *20-cycle-L2 in-order* baseline, so the in-order line itself
+    falls as the L2 slows down.
+    """
+    base = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    from .experiment import geomean, run_suite  # local: avoid cycles
+
+    reference = run_suite(("in-order",), workloads,
+                          dataclasses.replace(base, l2_hit_latency=20))
+    ref_cycles = {w: reference[w]["in-order"].cycles for w in workloads}
+
+    percent: dict[str, dict[int, float]] = {"in-order": {}}
+    for label, _, _ in FIGURE6_CONFIGS:
+        percent[label] = {}
+    for latency in latencies:
+        swept = dataclasses.replace(base, l2_hit_latency=latency)
+        io = run_suite(("in-order",), workloads, swept)
+        ratios = [ref_cycles[w] / io[w]["in-order"].cycles for w in workloads]
+        percent["in-order"][latency] = (geomean(ratios) - 1.0) * 100.0
+        for label, model, overrides in FIGURE6_CONFIGS:
+            cfg = dataclasses.replace(swept, **overrides)
+            runs = run_suite((model,), workloads, cfg)
+            ratios = [ref_cycles[w] / runs[w][model].cycles for w in workloads]
+            percent[label][latency] = (geomean(ratios) - 1.0) * 100.0
+    group = workloads[0] if len(workloads) == 1 else "geomean"
+    return Figure6(list(latencies), percent, group)
+
+
+def format_figure6(fig: Figure6) -> str:
+    labels = list(fig.percent)
+    lines = [f"Figure 6: L2 hit-latency sensitivity ({fig.workload_group}), "
+             "% speedup over 20-cycle-L2 in-order",
+             f"{'L2 latency':>10s} " + " ".join(f"{l:>12s}" for l in labels)]
+    for latency in fig.latencies:
+        row = f"{latency:>10d} "
+        row += " ".join(f"{fig.percent[l][latency]:12.1f}" for l in labels)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 7: feature build from SLTP to iCFP
+# ----------------------------------------------------------------------
+#: The build ladder (all bars advance on any miss, per the paper).
+FIGURE7_BARS = (
+    ("SLTP (SRL, blocking)", "sltp", {"sltp_advance_on": "all"}),
+    ("+ addr-hash chaining", "icfp",
+     {"icfp_features": ICFPFeatures(advance_on="all", nonblocking_rally=False,
+                                    mt_rally=False, poison_bits=1)}),
+    ("+ non-blocking rallies", "icfp",
+     {"icfp_features": ICFPFeatures(advance_on="all", nonblocking_rally=True,
+                                    mt_rally=False, poison_bits=1)}),
+    ("+ 8-bit poison vectors", "icfp",
+     {"icfp_features": ICFPFeatures(advance_on="all", nonblocking_rally=True,
+                                    mt_rally=False, poison_bits=8)}),
+    ("+ MT rallies (iCFP)", "icfp",
+     {"icfp_features": ICFPFeatures(advance_on="all", nonblocking_rally=True,
+                                    mt_rally=True, poison_bits=8)}),
+)
+
+#: The subset of benchmarks Figure 7 plots.
+FIGURE7_WORKLOADS = ("ammp_like", "applu_like", "art_like", "equake_like",
+                     "swim_like", "bzip2_like", "gap_like", "gzip_like",
+                     "mcf_like", "vpr_like")
+
+
+@dataclass
+class Figure7:
+    workloads: list[str]
+    bars: list[str]
+    #: percent[bar][workload] plus 'gmean' rows per bar.
+    percent: dict[str, dict[str, float]]
+
+
+def figure7(config: ExperimentConfig | None = None,
+            workloads=FIGURE7_WORKLOADS) -> Figure7:
+    base = config if config is not None else ExperimentConfig()
+    from .experiment import geomean, run_suite
+
+    io = run_suite(("in-order",), workloads, base)
+    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
+    percent: dict[str, dict[str, float]] = {}
+    for label, model, overrides in FIGURE7_BARS:
+        cfg = dataclasses.replace(base, **overrides)
+        runs = run_suite((model,), workloads, cfg)
+        per = {w: (io_cycles[w] / runs[w][model].cycles - 1.0) * 100.0
+               for w in workloads}
+        per["gmean"] = (geomean(
+            [io_cycles[w] / runs[w][model].cycles for w in workloads]
+        ) - 1.0) * 100.0
+        percent[label] = per
+    return Figure7(list(workloads), [b[0] for b in FIGURE7_BARS], percent)
+
+
+def format_figure7(fig: Figure7) -> str:
+    lines = ["Figure 7: iCFP feature build, % speedup over in-order"]
+    header = f"{'benchmark':14s} " + " ".join(f"{b[:20]:>22s}" for b in fig.bars)
+    lines.append(header)
+    for workload in list(fig.workloads) + ["gmean"]:
+        row = f"{workload:14s} "
+        row += " ".join(f"{fig.percent[b][workload]:22.1f}" for b in fig.bars)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 8: store buffer alternatives
+# ----------------------------------------------------------------------
+FIGURE8_KINDS = (
+    ("indexed (limited fwd)", "indexed"),
+    ("chained (iCFP)", "chained"),
+    ("fully-assoc (ideal)", "assoc"),
+)
+
+FIGURE8_WORKLOADS = ("applu_like", "equake_like", "swim_like", "bzip2_like",
+                     "gzip_like", "vpr_like", "galgel_like")
+
+
+@dataclass
+class Figure8:
+    workloads: list[str]
+    kinds: list[str]
+    percent: dict[str, dict[str, float]]
+    hops_per_load: dict[str, float]
+
+
+def figure8(config: ExperimentConfig | None = None,
+            workloads=FIGURE8_WORKLOADS) -> Figure8:
+    base = config if config is not None else ExperimentConfig()
+    from .experiment import geomean, run_suite
+
+    io = run_suite(("in-order",), workloads, base)
+    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
+    percent: dict[str, dict[str, float]] = {}
+    hops: dict[str, float] = {}
+    for label, kind in FIGURE8_KINDS:
+        feats = ICFPFeatures(store_buffer_kind=kind)
+        cfg = dataclasses.replace(base, icfp_features=feats)
+        runs = run_suite(("icfp",), workloads, cfg)
+        per = {w: (io_cycles[w] / runs[w]["icfp"].cycles - 1.0) * 100.0
+               for w in workloads}
+        per["gmean"] = (geomean(
+            [io_cycles[w] / runs[w]["icfp"].cycles for w in workloads]
+        ) - 1.0) * 100.0
+        percent[label] = per
+        if kind == "chained":
+            hops = {w: runs[w]["icfp"].stats.hops_per_load()
+                    for w in workloads}
+    return Figure8(list(workloads), [k[0] for k in FIGURE8_KINDS],
+                   percent, hops)
+
+
+def format_figure8(fig: Figure8) -> str:
+    lines = ["Figure 8: store-buffer alternatives, % speedup over in-order"]
+    header = f"{'benchmark':14s} " + " ".join(f"{k:>22s}" for k in fig.kinds)
+    header += f" {'hops/load':>10s}"
+    lines.append(header)
+    for workload in list(fig.workloads) + ["gmean"]:
+        row = f"{workload:14s} "
+        row += " ".join(f"{fig.percent[k][workload]:22.1f}" for k in fig.kinds)
+        if workload in fig.hops_per_load:
+            row += f" {fig.hops_per_load[workload]:10.3f}"
+        lines.append(row)
+    return "\n".join(lines)

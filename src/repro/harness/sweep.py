@@ -1,0 +1,74 @@
+"""Parameter sweeps for the Section 3.2 / 3.4 claims.
+
+* Chain-table size: a 64-entry table should cost only ~0.3% average
+  performance versus 512 entries (max ~4% on ammp-like chasing).
+* Poison-vector width: 8 bits buy ~1.5% over a single bit on average,
+  with mcf-like benefiting most (~6%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.icfp import ICFPFeatures
+from .experiment import ExperimentConfig, geomean, run_suite, selected_workloads
+
+
+@dataclass
+class SweepResult:
+    """Speedup-over-in-order ratios per (sweep value, workload)."""
+
+    parameter: str
+    values: list
+    #: ratios[value][workload] = speedup over in-order.
+    ratios: dict[object, dict[str, float]]
+
+    def gmeans(self) -> dict[object, float]:
+        return {v: geomean(per.values()) for v, per in self.ratios.items()}
+
+    def relative_to(self, reference) -> dict[object, float]:
+        """Percent performance of each value vs the reference value."""
+        ref = self.gmeans()[reference]
+        return {v: (g / ref - 1.0) * 100.0 for v, g in self.gmeans().items()}
+
+
+def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult:
+    base = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    io = run_suite(("in-order",), workloads, base)
+    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
+    ratios = {}
+    for value in values:
+        cfg = dataclasses.replace(base, icfp_features=feature_of(value))
+        runs = run_suite(("icfp",), workloads, cfg)
+        ratios[value] = {w: io_cycles[w] / runs[w]["icfp"].cycles
+                         for w in workloads}
+    return SweepResult(parameter, list(values), ratios)
+
+
+def chain_table_sweep(sizes=(64, 128, 512), workloads=None,
+                      config: ExperimentConfig | None = None) -> SweepResult:
+    return _sweep(
+        "chain_table_size", sizes,
+        lambda size: ICFPFeatures(chain_table_size=size),
+        workloads, config,
+    )
+
+
+def poison_bits_sweep(widths=(1, 2, 4, 8), workloads=None,
+                      config: ExperimentConfig | None = None) -> SweepResult:
+    return _sweep(
+        "poison_bits", widths,
+        lambda width: ICFPFeatures(poison_bits=width),
+        workloads, config,
+    )
+
+
+def format_sweep(result: SweepResult, reference) -> str:
+    rel = result.relative_to(reference)
+    lines = [f"Sweep of {result.parameter} "
+             f"(% performance vs {result.parameter}={reference})"]
+    for value in result.values:
+        lines.append(f"  {result.parameter}={value!s:>6s}: {rel[value]:+6.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Table 2 (benchmark diagnostics) and the Section 5.3 area table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..area.model import area_overheads
+from .experiment import ExperimentConfig, run_suite, selected_workloads
+
+
+@dataclass
+class Table2Row:
+    """One benchmark's diagnostics (Table 2 of the paper)."""
+
+    workload: str
+    d_miss_per_ki: float
+    l2_miss_per_ki: float
+    d_mlp: dict[str, float]     # model -> D$ MLP
+    l2_mlp: dict[str, float]    # model -> L2 MLP
+    rally_per_ki: float         # iCFP rally instructions / K instructions
+
+
+def table2(config: ExperimentConfig | None = None,
+           workloads=None) -> list[Table2Row]:
+    """Reproduce Table 2: Miss/KI, MLP for in-order/Runahead/iCFP, and
+    iCFP rally overhead."""
+    config = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    models = ("in-order", "runahead", "icfp")
+    results = run_suite(models, workloads, config)
+    rows = []
+    for workload in workloads:
+        runs = results[workload]
+        d_ki, l2_ki = runs["in-order"].stats.misses_per_ki()
+        rows.append(Table2Row(
+            workload=workload,
+            d_miss_per_ki=d_ki,
+            l2_miss_per_ki=l2_ki,
+            d_mlp={m: runs[m].stats.d_mlp.average() for m in models},
+            l2_mlp={m: runs[m].stats.l2_mlp.average() for m in models},
+            rally_per_ki=runs["icfp"].stats.rallies_per_ki(),
+        ))
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    lines = ["Table 2: benchmark diagnostics",
+             f"{'bench':14s} {'D$/KI':>6s} {'L2/KI':>6s} "
+             f"{'D$MLP iO':>9s} {'RA':>6s} {'iCFP':>6s} "
+             f"{'L2MLP iO':>9s} {'RA':>6s} {'iCFP':>6s} {'Rally/KI':>9s}"]
+    for row in rows:
+        lines.append(
+            f"{row.workload:14s} {row.d_miss_per_ki:6.1f} "
+            f"{row.l2_miss_per_ki:6.1f} "
+            f"{row.d_mlp['in-order']:9.1f} {row.d_mlp['runahead']:6.1f} "
+            f"{row.d_mlp['icfp']:6.1f} "
+            f"{row.l2_mlp['in-order']:9.1f} {row.l2_mlp['runahead']:6.1f} "
+            f"{row.l2_mlp['icfp']:6.1f} {row.rally_per_ki:9.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_area_table() -> str:
+    """Section 5.3: per-scheme area overheads at 45 nm."""
+    overheads = area_overheads()
+    lines = ["Section 5.3: area overheads (mm^2, 45 nm)",
+             f"{'scheme':12s} {'mm^2':>8s}   structures"]
+    for scheme, breakdown in overheads.items():
+        total = sum(breakdown.values())
+        detail = ", ".join(f"{k}={v:.3f}" for k, v in breakdown.items())
+        lines.append(f"{scheme:12s} {total:8.2f}   {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Instruction set definition.
+
+Opcodes are grouped into *classes* that the timing models care about
+(which functional-unit port an instruction needs and its execute
+latency).  The latencies follow Table 1 of the paper: single-cycle
+integer ALU, 2-cycle FP add, 4-cycle integer/FP multiply; loads and
+stores take their latency from the cache hierarchy instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Execution resource class of an instruction."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    HALT = "halt"
+    NOP = "nop"
+
+
+#: Execute latency (cycles) per op class.  Memory classes are listed with
+#: their address-generation latency; the load-to-use latency comes from the
+#: cache hierarchy (3-cycle D$ pipeline on a hit).
+EXEC_LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 4,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.HALT: 1,
+    OpClass.NOP: 1,
+}
+
+
+class Opcode(enum.Enum):
+    """All opcodes in the reproduction ISA."""
+
+    # Integer ALU (register-register)
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLT = "slt"
+    SHL = "shl"
+    SHR = "shr"
+    # Integer ALU (register-immediate)
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    SLTI = "slti"
+    SHLI = "shli"
+    LUI = "lui"
+    # Integer multiply
+    MUL = "mul"
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FMADD = "fmadd"
+    CVTIF = "cvtif"  # int reg -> fp reg
+    CVTFI = "cvtfi"  # fp reg -> int reg (truncate)
+    # Memory (8-byte words; ld/st move int regs, ldf/stf move fp regs)
+    LD = "ld"
+    ST = "st"
+    LDF = "ldf"
+    STF = "stf"
+    # Control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    HALT = "halt"
+    NOP = "nop"
+
+
+_OPCLASS = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SLT: OpClass.INT_ALU,
+    Opcode.SHL: OpClass.INT_ALU,
+    Opcode.SHR: OpClass.INT_ALU,
+    Opcode.ADDI: OpClass.INT_ALU,
+    Opcode.ANDI: OpClass.INT_ALU,
+    Opcode.ORI: OpClass.INT_ALU,
+    Opcode.SLTI: OpClass.INT_ALU,
+    Opcode.SHLI: OpClass.INT_ALU,
+    Opcode.LUI: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.FADD: OpClass.FP_ADD,
+    Opcode.FSUB: OpClass.FP_ADD,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FMADD: OpClass.FP_MUL,
+    Opcode.CVTIF: OpClass.FP_ADD,
+    Opcode.CVTFI: OpClass.FP_ADD,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.LDF: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.STF: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.J: OpClass.JUMP,
+    Opcode.JAL: OpClass.JUMP,
+    Opcode.JR: OpClass.JUMP,
+    Opcode.HALT: OpClass.HALT,
+    Opcode.NOP: OpClass.NOP,
+}
+
+#: Opcodes whose source operands are read from registers, in operand order.
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+MEM_OPS = frozenset({Opcode.LD, Opcode.ST, Opcode.LDF, Opcode.STF})
+LOAD_OPS = frozenset({Opcode.LD, Opcode.LDF})
+STORE_OPS = frozenset({Opcode.ST, Opcode.STF})
+
+
+def opclass(op: Opcode) -> OpClass:
+    """Return the execution class of ``op``."""
+    return _OPCLASS[op]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    Attributes
+    ----------
+    op:
+        Opcode.
+    dst:
+        Destination flat register index, or ``None``.
+    srcs:
+        Source flat register indices in operand order.  For memory
+        operations the *address base register* is always the first
+        source; for stores the *data register* is the second source.
+    imm:
+        Immediate operand (ALU immediate or memory displacement).
+    target:
+        Branch/jump target label (resolved to a PC by the assembler).
+    """
+
+    op: Opcode
+    dst: int | None = None
+    srcs: tuple[int, ...] = field(default=())
+    imm: int = 0
+    target: str | None = None
+
+    @property
+    def opclass(self) -> OpClass:
+        return _OPCLASS[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (OpClass.BRANCH, OpClass.JUMP)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from .registers import reg_name
+
+        parts = [self.op.value]
+        if self.dst is not None:
+            parts.append(reg_name(self.dst))
+        parts.extend(reg_name(s) for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(self.target)
+        return " ".join(parts)

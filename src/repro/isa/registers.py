@@ -1,0 +1,73 @@
+"""Register namespace for the reproduction ISA.
+
+The ISA models an Alpha-like load/store RISC machine with 32 integer
+registers (``r0``..``r31``, ``r0`` hardwired to zero) and 16 floating-point
+registers (``f0``..``f15``).  Internally every register is a small integer
+index: integer registers occupy indices ``0..31`` and floating-point
+registers occupy ``32..47``.  A single flat index space keeps the timing
+models' scoreboards simple (one ready-bit array covers both files).
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 16
+FP_BASE = NUM_INT_REGS
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Index of the hardwired-zero integer register.
+ZERO_REG = 0
+
+
+def int_reg(n: int) -> int:
+    """Return the flat index of integer register ``rN``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register out of range: r{n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Return the flat index of floating-point register ``fN``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register out of range: f{n}")
+    return FP_BASE + n
+
+
+def is_fp(reg: int) -> bool:
+    """True if the flat register index names a floating-point register."""
+    return reg >= FP_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7``, ``f3``) for a flat register index."""
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    if reg >= FP_BASE:
+        return f"f{reg - FP_BASE}"
+    return f"r{reg}"
+
+
+def parse_reg(name: str) -> int:
+    """Parse ``r<N>`` / ``f<N>`` into a flat register index."""
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in "rf":
+        raise ValueError(f"malformed register name: {name!r}")
+    try:
+        n = int(name[1:])
+    except ValueError as exc:
+        raise ValueError(f"malformed register name: {name!r}") from exc
+    return fp_reg(n) if name[0] == "f" else int_reg(n)
+
+
+class _RegNamespace:
+    """Attribute-style access to register indices: ``R.r4``, ``R.f2``."""
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return parse_reg(name)
+        except ValueError as exc:
+            raise AttributeError(str(exc)) from exc
+
+
+#: Convenience namespace: ``from repro.isa.registers import R; R.r5``.
+R = _RegNamespace()

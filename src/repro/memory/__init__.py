@@ -1,0 +1,43 @@
+"""Memory hierarchy substrate: caches, MSHRs, buses, DRAM, prefetchers."""
+
+from .bus import Bus
+from .cache import Cache, CacheConfig
+from .hierarchy import (
+    L1,
+    L2,
+    MEMORY,
+    PENDING,
+    STALL,
+    STREAM,
+    VICTIM,
+    HierarchyConfig,
+    MemoryHierarchy,
+    MemResult,
+)
+from .main_memory import MainMemory
+from .mshr import MSHR, MSHRFile, MSHRFull
+from .prefetch import StreamBuffer, StreamPrefetcher
+from .victim import VictimBuffer
+
+__all__ = [
+    "Bus",
+    "Cache",
+    "CacheConfig",
+    "MainMemory",
+    "MSHR",
+    "MSHRFile",
+    "MSHRFull",
+    "StreamBuffer",
+    "StreamPrefetcher",
+    "VictimBuffer",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MemResult",
+    "L1",
+    "VICTIM",
+    "PENDING",
+    "L2",
+    "STREAM",
+    "MEMORY",
+    "STALL",
+]

@@ -1,0 +1,112 @@
+"""Set-associative cache model with LRU replacement and write-back state.
+
+The timing engines treat caches as *tag stores*: a lookup answers
+"would this access hit, and what got evicted", while access latencies
+are composed by :class:`~repro.memory.hierarchy.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level (Table 1 of the paper)."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError(f"{self.name}: size not divisible by assoc*line")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    def line_addr(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & (self.num_sets - 1)
+
+
+class Cache:
+    """One level of cache: an array of LRU-ordered sets of line tags.
+
+    Each set is a list of ``[line_addr, dirty]`` entries ordered
+    most-recently-used first.  All methods take full line addresses
+    (byte address // line size), which keeps the hierarchy honest about
+    differing line sizes between levels.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[list[list]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, line_addr: int, update_lru: bool = True) -> bool:
+        """True if ``line_addr`` is present; promotes it to MRU on a hit."""
+        way_list = self._sets[self.config.set_index(line_addr)]
+        for i, entry in enumerate(way_list):
+            if entry[0] == line_addr:
+                if update_lru and i:
+                    way_list.insert(0, way_list.pop(i))
+                self.hits += 1
+                return True
+        self.misses += 1
+        return False
+
+    def probe(self, line_addr: int) -> bool:
+        """Presence check with no LRU or statistics side effects."""
+        way_list = self._sets[self.config.set_index(line_addr)]
+        return any(entry[0] == line_addr for entry in way_list)
+
+    def insert(self, line_addr: int, dirty: bool = False):
+        """Install ``line_addr`` as MRU.
+
+        Returns ``(victim_line_addr, victim_dirty)`` if an eviction was
+        required, else ``None``.  Re-inserting a present line refreshes
+        its LRU position and ORs in ``dirty``.
+        """
+        way_list = self._sets[self.config.set_index(line_addr)]
+        for i, entry in enumerate(way_list):
+            if entry[0] == line_addr:
+                entry[1] = entry[1] or dirty
+                if i:
+                    way_list.insert(0, way_list.pop(i))
+                return None
+        way_list.insert(0, [line_addr, dirty])
+        if len(way_list) > self.config.assoc:
+            victim = way_list.pop()
+            return (victim[0], victim[1])
+        return None
+
+    def mark_dirty(self, line_addr: int) -> bool:
+        """Set the dirty bit of a present line; True if the line was found."""
+        way_list = self._sets[self.config.set_index(line_addr)]
+        for entry in way_list:
+            if entry[0] == line_addr:
+                entry[1] = True
+                return True
+        return False
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line (SLTP flushes speculatively-written lines this way)."""
+        way_list = self._sets[self.config.set_index(line_addr)]
+        for i, entry in enumerate(way_list):
+            if entry[0] == line_addr:
+                way_list.pop(i)
+                return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,19 @@
+"""Pipeline machinery: configuration, ports, store queue, statistics."""
+
+from .config import MachineConfig
+from .resources import INT_PORT, MEM_PORT, PortSet, port_kind
+from .stats import CoreStats, MLPMeter, StallBreakdown
+from .store_queue import StoreQueue, StoreQueueEntry
+
+__all__ = [
+    "MachineConfig",
+    "PortSet",
+    "port_kind",
+    "INT_PORT",
+    "MEM_PORT",
+    "CoreStats",
+    "MLPMeter",
+    "StallBreakdown",
+    "StoreQueue",
+    "StoreQueueEntry",
+]

@@ -1,0 +1,55 @@
+"""Per-cycle issue-port tracking.
+
+Table 1: "2-way superscalar, 2 integer, 1 fp/load/store/branch" — two
+integer ALU/multiply ports plus a single shared port for floating
+point, memory, and control instructions.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import OpClass
+
+#: Port kind required by each op class.
+INT_PORT = "int"
+MEM_PORT = "mem"
+
+_PORT_OF = {
+    OpClass.INT_ALU: INT_PORT,
+    OpClass.INT_MUL: INT_PORT,
+    OpClass.NOP: INT_PORT,
+    OpClass.HALT: INT_PORT,
+    OpClass.FP_ADD: MEM_PORT,
+    OpClass.FP_MUL: MEM_PORT,
+    OpClass.LOAD: MEM_PORT,
+    OpClass.STORE: MEM_PORT,
+    OpClass.BRANCH: MEM_PORT,
+    OpClass.JUMP: MEM_PORT,
+}
+
+
+def port_kind(opclass: OpClass) -> str:
+    """Which port kind an op class issues to."""
+    return _PORT_OF[opclass]
+
+
+class PortSet:
+    """Issue-port availability within a single cycle."""
+
+    def __init__(self, int_ports: int, mem_ports: int) -> None:
+        self._capacity = {INT_PORT: int_ports, MEM_PORT: mem_ports}
+        self._free = dict(self._capacity)
+
+    def reset(self) -> None:
+        """Start a new cycle with all ports free."""
+        self._free = dict(self._capacity)
+
+    def available(self, opclass: OpClass) -> bool:
+        return self._free[_PORT_OF[opclass]] > 0
+
+    def acquire(self, opclass: OpClass) -> bool:
+        """Claim a port for this cycle; False if none is free."""
+        kind = _PORT_OF[opclass]
+        if self._free[kind] <= 0:
+            return False
+        self._free[kind] -= 1
+        return True

@@ -1,0 +1,123 @@
+"""Statistics: counters, stall breakdowns, and MLP measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MLPMeter:
+    """Measures memory-level parallelism from miss intervals.
+
+    Each demand line fill contributes a half-open interval
+    ``[start, end)``.  MLP is the time-average number of simultaneously
+    outstanding fills over the cycles during which *at least one* fill
+    is outstanding — the definition behind Table 2's "D$ MLP" and
+    "L2 MLP" columns.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: list[tuple[int, int]] = []
+
+    def add(self, start: int, end: int) -> None:
+        if end > start:
+            self._intervals.append((start, end))
+
+    @property
+    def count(self) -> int:
+        return len(self._intervals)
+
+    def average(self) -> float:
+        """Time-averaged outstanding fills while >= 1 is outstanding.
+
+        Returns 1.0 when there were misses but no overlap, and 0.0 when
+        there were no misses at all (callers typically display "-").
+        """
+        if not self._intervals:
+            return 0.0
+        events: list[tuple[int, int]] = []
+        for start, end in self._intervals:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort()
+        active_time = 0
+        weighted_time = 0
+        depth = 0
+        prev = events[0][0]
+        for time, delta in events:
+            if depth > 0 and time > prev:
+                span = time - prev
+                active_time += span
+                weighted_time += span * depth
+            prev = time
+            depth += delta
+        if active_time == 0:
+            return 0.0
+        return weighted_time / active_time
+
+
+@dataclass
+class StallBreakdown:
+    """Issue-stall cycles by first blocking reason (diagnostics)."""
+
+    src_wait: int = 0
+    waw_wait: int = 0
+    port: int = 0
+    store_buffer_full: int = 0
+    mshr_full: int = 0
+    frontend: int = 0
+    slice_buffer_full: int = 0
+    poisoned_store_addr: int = 0
+
+    def total(self) -> int:
+        return (self.src_wait + self.waw_wait + self.port
+                + self.store_buffer_full + self.mshr_full + self.frontend
+                + self.slice_buffer_full + self.poisoned_store_addr)
+
+
+@dataclass
+class CoreStats:
+    """Everything a simulation run records."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    secondary_misses: int = 0
+    # Latency-tolerance machinery:
+    advance_entries: int = 0          # transitions into advance mode
+    advance_instructions: int = 0     # instructions processed while advancing
+    rally_passes: int = 0
+    rally_instructions: int = 0       # re-executed slice/replay instructions
+    slice_captures: int = 0           # instructions diverted into the slice buffer
+    squashes: int = 0                 # checkpoint restores
+    simple_runahead_entries: int = 0  # fallback-mode transitions
+    store_forward_hits: int = 0
+    store_forward_hops: int = 0       # excess chained store-buffer hops
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    d_mlp: MLPMeter = field(default_factory=MLPMeter)
+    l2_mlp: MLPMeter = field(default_factory=MLPMeter)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def misses_per_ki(self) -> tuple[float, float]:
+        """(D$ misses, L2 misses) per 1000 committed instructions."""
+        if not self.instructions:
+            return (0.0, 0.0)
+        scale = 1000.0 / self.instructions
+        return (self.l1d_misses * scale, self.l2_misses * scale)
+
+    def rallies_per_ki(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.rally_instructions * 1000.0 / self.instructions
+
+    def hops_per_load(self) -> float:
+        if not self.loads:
+            return 0.0
+        return self.store_forward_hops / self.loads

@@ -1,0 +1,29 @@
+"""Synthetic SPEC CPU2000 stand-in workloads."""
+
+from .archetypes import ARCHETYPES
+from .builders import DATA_BASE, Kernel, KernelParams
+from .suite import (
+    ALL_KERNELS,
+    SPECFP,
+    SPECINT,
+    build_kernel,
+    build_suite,
+    kernel_names,
+    trace_by_name,
+    trace_kernel,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "Kernel",
+    "KernelParams",
+    "DATA_BASE",
+    "ALL_KERNELS",
+    "SPECFP",
+    "SPECINT",
+    "kernel_names",
+    "build_kernel",
+    "build_suite",
+    "trace_kernel",
+    "trace_by_name",
+]

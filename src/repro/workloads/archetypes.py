@@ -1,0 +1,325 @@
+"""Kernel archetypes: the memory-behaviour families behind the SPEC2000
+stand-ins (see DESIGN.md for the per-benchmark mapping).
+
+Each builder emits code into an :class:`~repro.isa.assembler.Assembler`
+according to a :class:`~repro.workloads.builders.KernelParams`.  All
+kernels run "forever" (huge trip counts); the harness bounds dynamic
+length with the functional executor's instruction budget, playing the
+role of the paper's sampled simulation windows.
+
+Most archetypes are *two-level*: a hot, cache-resident working set plus
+a cold region whose size and visit rate independently tune the D$ and
+L2 miss rates against the paper's Table 2 characterisation.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import R
+from .builders import DATA_BASE, KernelParams, emit_compute, rng_for
+
+#: One list node per cache line (next pointer + payload).
+NODE_BYTES = 64
+
+#: Cold regions live far above the hot data.
+COLD_BASE = DATA_BASE + (32 << 20)
+
+
+def build_pointer_chase(a, params: KernelParams) -> None:
+    """Linked-ring traversal (mcf/ammp/twolf/vpr).
+
+    Every ``next`` load depends on the previous one — the dependent-miss
+    chains of Figures 1c/1d.  One node per cache line, shuffled so
+    successors share no spatial locality and defeat the stream
+    prefetcher; ``footprint_bytes`` against the cache sizes sets which
+    level the chain misses in, and ``compute`` dilutes the miss rate.
+    """
+    rng = rng_for(params)
+    chains = max(1, min(params.chains, 3))
+    nodes_per_chain = max(8, params.footprint_bytes // NODE_BYTES // chains)
+    cursors = (R.r1, R.r5, R.r6)[:chains]
+    heads = []
+    for chain in range(chains):
+        order = list(range(nodes_per_chain))
+        rng.shuffle(order)
+        base = COLD_BASE + chain * nodes_per_chain * NODE_BYTES
+        ring = [base + node * NODE_BYTES for node in order]
+        for pos, addr in enumerate(ring):
+            successor = ring[(pos + 1) % len(ring)]
+            a.word(addr, successor)
+            a.word(addr + 8, (pos * 7 + 3) % 1000)
+        heads.append(ring[0])
+    if params.arc_loads:
+        # The arc region is unwarmed and randomly indexed (mcf indexes
+        # arc arrays by node id): every arc load is an independent
+        # DRAM-class miss — the MLP advance execution mines.
+        arc_lines = 1 << (max(64, params.arc_bytes // 64).bit_length() - 1)
+        # The table is part of the data image, so warm-up residency
+        # follows its size: small tables stay L2-resident (twolf/vpr),
+        # tables beyond the L2 leave a DRAM-miss tail (mcf).
+        for i in range(arc_lines):
+            a.word(DATA_BASE + i * 64, (i * 11 + 5) % 997)
+        a.li(R.r10, DATA_BASE)                 # arc table base
+        a.li(R.r13, params.seed * 69621 % (1 << 31))
+        a.li(R.r14, 1103515245)
+        a.li(R.r15, 27)
+        arc_mask = (arc_lines - 1) << 6
+
+    for cursor, head in zip(cursors, heads):
+        a.li(cursor, head)
+    a.li(R.r2, params.iterations)
+    a.li(R.r3, 0)
+    a.label("chase")
+    a.ld(R.r4, cursors[0], 8)      # payload (independent of the chain)
+    emit_compute(a, params, R.r3, R.r4)
+    for arc in range(params.arc_loads):
+        # Arc-array work: LCG-addressed, so these loads are independent
+        # of the chains and of each other.
+        a.mul(R.r13, R.r13, R.r14)
+        a.addi(R.r13, R.r13, 12345)
+        a.shr(R.r11, R.r13, R.r15)
+        a.andi(R.r11, R.r11, arc_mask)
+        a.add(R.r11, R.r11, R.r10)
+        a.ld(R.r11, R.r11, 0)
+        a.add(R.r3, R.r3, R.r11)
+    for cursor in cursors:
+        a.ld(cursor, cursor, 0)    # next pointers: the dependent misses
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "chase")
+    a.halt()
+
+
+def _init_cold_walk(a, params: KernelParams) -> None:
+    """Lay out the cold region and the walk registers.
+
+    r10 = cold pointer, r12 = cold region end, r16 = countdown until the
+    next cold access (one in ``cold_period`` iterations).
+    """
+    if not params.cold_period:
+        return
+    # The walk region is deliberately *not* in the data image: loads of
+    # unwritten words return 0, and the warm-up cannot pre-install it —
+    # the walk must take real L2 misses, like the capacity misses of the
+    # original workloads.
+    cold_lines = max(16, params.footprint_bytes // 64)
+    a.li(R.r10, COLD_BASE)
+    a.li(R.r12, COLD_BASE + cold_lines * 64)
+    a.li(R.r16, params.cold_period)
+    if params.cold_random:
+        # LCG-addressed walk: defeats the stream buffers, so every cold
+        # access is a DRAM-class miss (art-like behaviour).
+        a.li(R.r7, 1103515245)
+        a.li(R.r17, 27)
+        a.li(R.r6, params.seed * 48271 % (1 << 31))
+
+
+def _emit_cold_tick(a, params: KernelParams) -> None:
+    """Inside the inner loop: every ``cold_period`` iterations, touch the
+    next sequential cold line (the L2-miss stream; the hardware stream
+    buffers partially cover it, as they do for the paper's workloads).
+    """
+    if not params.cold_period:
+        return
+    a.addi(R.r16, R.r16, -1)
+    a.bne(R.r16, R.r0, "no_cold")
+    a.li(R.r16, params.cold_period)
+    if params.cold_random:
+        cold_lines = max(16, params.footprint_bytes // 64)
+        mask_lines = 1 << (cold_lines.bit_length() - 1)
+        a.mul(R.r6, R.r6, R.r7)
+        a.addi(R.r6, R.r6, 12345)
+        a.shr(R.r8, R.r6, R.r17)
+        a.andi(R.r8, R.r8, (mask_lines - 1) << 6)
+        a.li(R.r14, 0)
+        a.add(R.r8, R.r8, R.r10)   # r10 stays at COLD_BASE
+        a.ld(R.r14, R.r8, 0)
+    else:
+        a.ld(R.r14, R.r10, 0)
+        a.addi(R.r10, R.r10, 64)
+        a.blt(R.r10, R.r12, "cold_use")
+        a.li(R.r10, COLD_BASE)
+        a.label("cold_use")
+    # The fetched value is consumed — an in-order pipeline stalls on it.
+    a.add(R.r18, R.r18, R.r14)
+    a.label("no_cold")
+
+
+def build_streaming(a, params: KernelParams) -> None:
+    """Hot-window sweep plus cold strip (art/swim/applu/apsi/...).
+
+    The hot window (``hot_bytes``, L2-resident but usually larger than
+    the L1) is swept with ``stride_bytes``; one in ``cold_period``
+    iterations also touches a huge cold region — the window sets the D$
+    miss rate, the cold walk sets the L2 miss rate, and both expose the
+    independent misses of Figure 1b.
+    """
+    words = max(64, params.hot_bytes // 8)
+    end = DATA_BASE + words * 8
+    step = max(1, params.stride_bytes // 8)
+    for i in range(0, words, step):
+        a.word(DATA_BASE + i * 8, i % 251)
+    _init_cold_walk(a, params)
+    acc = R.f1 if params.use_fp else R.r3
+    tmp = R.f2 if params.use_fp else R.r4
+    load = a.ldf if params.use_fp else a.ld
+    store = a.stf if params.use_fp else a.st
+
+    a.li(R.r2, end)
+    a.li(R.r5, params.iterations)
+    a.label("outer")
+    a.li(R.r1, DATA_BASE)
+    a.label("inner")
+    load(tmp, R.r1, 0)
+    emit_compute(a, params, acc, tmp)
+    if params.stores:
+        store(acc, R.r1, 0)
+    _emit_cold_tick(a, params)
+    a.addi(R.r1, R.r1, params.stride_bytes)
+    a.blt(R.r1, R.r2, "inner")
+    a.addi(R.r5, R.r5, -1)
+    a.bne(R.r5, R.r0, "outer")
+    a.halt()
+
+
+def build_strided_fp(a, params: KernelParams) -> None:
+    """Three-point FP stencil with store-back plus a periodic cold walk
+    (equake/facerec/wupwise)."""
+    words = max(64, params.hot_bytes // 16)  # two arrays: in + out
+    in_base = DATA_BASE
+    out_base = DATA_BASE + words * 8
+    step = max(1, params.stride_bytes // 8)
+    for i in range(0, words, step):
+        a.word(in_base + i * 8, (i % 97) + 1)
+    _init_cold_walk(a, params)
+    end = in_base + (words - 4) * 8
+
+    a.li(R.r2, end)
+    a.li(R.r5, params.iterations)
+    a.label("outer")
+    a.li(R.r1, in_base)
+    a.li(R.r6, out_base)
+    a.label("inner")
+    a.ldf(R.f1, R.r1, 0)
+    a.ldf(R.f2, R.r1, 8)
+    a.ldf(R.f3, R.r1, 16)
+    a.fadd(R.f4, R.f1, R.f2)
+    a.fadd(R.f4, R.f4, R.f3)
+    emit_compute(a, params, R.f4, R.f1)
+    a.stf(R.f4, R.r6, 0)
+    _emit_cold_tick(a, params)
+    a.addi(R.r1, R.r1, params.stride_bytes)
+    a.addi(R.r6, R.r6, params.stride_bytes)
+    a.blt(R.r1, R.r2, "inner")
+    a.addi(R.r5, R.r5, -1)
+    a.bne(R.r5, R.r0, "outer")
+    a.halt()
+
+
+def build_random_access(a, params: KernelParams) -> None:
+    """Hot-table lookups with occasional cold excursions
+    (gap/gcc/parser and, with a tiny cold rate, the cache-resident
+    compute codes mesa/eon/crafty/vortex/perlbmk).
+
+    Addresses come from an in-register LCG, so consecutive cold misses
+    are *independent* — exactly the MLP advance execution mines.  One in
+    ``cold_period`` accesses visits the cold table; the selection branch
+    is mostly-taken and cheap to predict.
+    """
+    hot_words = 1 << (max(64, params.hot_bytes // 8).bit_length() - 1)
+    cold_lines = 1 << (max(16, params.footprint_bytes // 64).bit_length() - 1)
+    a.hot_region(DATA_BASE, DATA_BASE + hot_words * 8)
+    for i in range(0, hot_words, 8):
+        a.word(DATA_BASE + i * 8, i % 127)
+    for i in range(cold_lines):
+        a.word(COLD_BASE + i * 64, (i * 13 + 7) % 509)
+
+    a.li(R.r6, params.seed * 2654435761 % (1 << 31))
+    a.li(R.r7, 1103515245)
+    a.li(R.r9, DATA_BASE)
+    a.li(R.r15, COLD_BASE)
+    a.li(R.r17, 27)                          # cold-index shift amount
+    a.li(R.r2, params.iterations)
+    a.li(R.r3, 0)
+    a.label("loop")
+    a.mul(R.r6, R.r6, R.r7)                  # LCG step
+    a.addi(R.r6, R.r6, 12345)
+    if params.cold_period:
+        a.andi(R.r10, R.r6, params.cold_period - 1)
+        a.bne(R.r10, R.r0, "hot")
+        a.shr(R.r11, R.r6, R.r17)            # decorrelated high bits
+        a.andi(R.r8, R.r11, (cold_lines - 1) << 6)
+        a.add(R.r8, R.r8, R.r15)
+        a.ld(R.r4, R.r8, 0)
+        a.j("join")
+        a.label("hot")
+    a.andi(R.r8, R.r6, (hot_words - 1) << 3)
+    a.add(R.r8, R.r8, R.r9)
+    a.ld(R.r4, R.r8, 0)
+    if params.cold_period:
+        a.label("join")
+    emit_compute(a, params, R.r3, R.r4)
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "loop")
+    a.halt()
+
+
+def build_branchy(a, params: KernelParams) -> None:
+    """Data-dependent control flow over a hot block with periodic cold
+    accesses (bzip2/gzip).  A branch keyed to loaded data defeats the
+    predictor on ~half the iterations, mixing mispredict flushes with
+    D$ misses — the low-MLP SPECint profile.
+    """
+    words = max(64, params.hot_bytes // 8)
+    rng = rng_for(params)
+    step = max(1, params.stride_bytes // 8)
+    a.hot_region(DATA_BASE, DATA_BASE + words * 8)
+    for i in range(0, words, step):
+        a.word(DATA_BASE + i * 8, rng.getrandbits(16))
+    cold_lines = 1 << (max(16, params.footprint_bytes // 64).bit_length() - 1)
+    for i in range(cold_lines):
+        a.word(COLD_BASE + i * 64, i % 509)
+    end = DATA_BASE + words * 8
+
+    a.li(R.r2, end)
+    a.li(R.r5, params.iterations)
+    a.li(R.r3, 0)
+    a.li(R.r15, COLD_BASE)
+    a.li(R.r17, 27)
+    a.li(R.r6, 88172645463325252 % (1 << 31))
+    a.li(R.r7, 1103515245)
+    a.label("outer")
+    a.li(R.r1, DATA_BASE)
+    a.label("inner")
+    a.ld(R.r4, R.r1, 0)
+    a.andi(R.r8, R.r4, 1)
+    a.beq(R.r8, R.r0, "even")
+    a.add(R.r3, R.r3, R.r4)        # odd path
+    emit_compute(a, params, R.r3, R.r4)
+    a.j("join")
+    a.label("even")
+    a.sub(R.r3, R.r3, R.r4)        # even path
+    a.label("join")
+    if params.cold_period:
+        a.mul(R.r6, R.r6, R.r7)
+        a.addi(R.r6, R.r6, 12345)
+        a.andi(R.r9, R.r6, params.cold_period - 1)
+        a.bne(R.r9, R.r0, "nocold")
+        a.shr(R.r11, R.r6, R.r17)
+        a.andi(R.r9, R.r11, (cold_lines - 1) << 6)
+        a.add(R.r9, R.r9, R.r15)
+        a.ld(R.r14, R.r9, 0)
+        a.label("nocold")
+    a.addi(R.r1, R.r1, params.stride_bytes)
+    a.blt(R.r1, R.r2, "inner")
+    a.addi(R.r5, R.r5, -1)
+    a.bne(R.r5, R.r0, "outer")
+    a.halt()
+
+
+ARCHETYPES = {
+    "pointer_chase": build_pointer_chase,
+    "streaming": build_streaming,
+    "strided_fp": build_strided_fp,
+    "random_access": build_random_access,
+    "compute": build_random_access,  # same family, cache-resident params
+    "branchy": build_branchy,
+}

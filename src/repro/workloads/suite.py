@@ -1,0 +1,195 @@
+"""The 24-kernel SPEC CPU2000 stand-in suite.
+
+Each kernel is named after the SPEC2000 benchmark whose Table 2 memory
+characterisation it approximates (suffix ``_like`` keeps the naming
+honest: these are synthetic kernels, not the benchmarks).  Parameters
+were tuned against the in-order model so the *spread* of D$/L2 misses
+per kilo-instruction tracks the paper: mcf_like and art_like are the
+memory-bound extremes, mesa_like/eon_like/vortex_like essentially never
+miss, and the FP kernels sit in between with prefetch-friendly streams.
+
+Kernels run unbounded (huge trip counts); callers bound dynamic length
+via the functional executor's instruction budget — the stand-in for the
+paper's 1M-instruction samples.
+"""
+
+from __future__ import annotations
+
+from ..functional.executor import FunctionalExecutor
+from ..functional.trace import Trace
+from .archetypes import ARCHETYPES
+from .builders import Kernel, KernelParams, make_kernel
+
+KB = 1024
+MB = 1024 * KB
+
+#: Effectively-infinite trip count; the instruction budget truncates.
+FOREVER = 1 << 30
+
+#: name -> (archetype, params, description).  Ordering follows Table 2.
+_SUITE_SPEC: dict[str, tuple[str, KernelParams, str]] = {
+    # ------------------------- SPECfp -------------------------
+    "ammp_like": ("pointer_chase",
+                  KernelParams(footprint_bytes=1280 * KB, compute=28,
+                               arc_loads=1, arc_bytes=256 * KB, use_fp=True,
+                               iterations=FOREVER, seed=11),
+                  "molecular dynamics: pointer-linked atom lists"),
+    "applu_like": ("streaming",
+                   KernelParams(footprint_bytes=3 * MB, hot_bytes=40 * KB,
+                                stride_bytes=16, compute=7, cold_period=32,
+                                use_fp=True, iterations=FOREVER, seed=12),
+                   "PDE solver: strided sweeps over large grids"),
+    "apsi_like": ("streaming",
+                  KernelParams(hot_bytes=40 * KB, stride_bytes=16, compute=7,
+                               cold_period=0, use_fp=True,
+                               iterations=FOREVER, seed=13),
+                  "meteorology: L2-resident strided sweeps"),
+    "art_like": ("streaming",
+                 KernelParams(footprint_bytes=6 * MB, hot_bytes=256 * KB,
+                              stride_bytes=64, compute=2, cold_period=16,
+                              cold_random=True, use_fp=True,
+                              iterations=FOREVER, seed=14),
+                 "neural net: low-compute scans of a huge weight array"),
+    "equake_like": ("strided_fp",
+                    KernelParams(footprint_bytes=2 * MB, hot_bytes=48 * KB,
+                                 stride_bytes=16, compute=8, cold_period=32,
+                                 use_fp=True, iterations=FOREVER, seed=15),
+                    "FEM stencil with store-back"),
+    "facerec_like": ("strided_fp",
+                     KernelParams(footprint_bytes=2 * MB, hot_bytes=48 * KB,
+                                  stride_bytes=16, compute=40, cold_period=8,
+                                  use_fp=True, iterations=FOREVER, seed=16),
+                     "image correlation: compute-dense FP stencil"),
+    "galgel_like": ("streaming",
+                    KernelParams(hot_bytes=40 * KB, stride_bytes=16,
+                                 compute=10, stores=True, cold_period=0,
+                                 use_fp=True, iterations=FOREVER, seed=17),
+                    "fluid dynamics: L2-resident sweeps with store-back"),
+    "lucas_like": ("streaming",
+                   KernelParams(hot_bytes=40 * KB, stride_bytes=16, compute=7,
+                                cold_period=0, use_fp=True,
+                                iterations=FOREVER, seed=18),
+                   "FFT butterflies: L2-resident strided passes"),
+    "mesa_like": ("compute",
+                  KernelParams(footprint_bytes=64 * KB, hot_bytes=16 * KB,
+                               cold_period=64, compute=4, use_fp=True,
+                               iterations=FOREVER, seed=19),
+                  "software rasteriser: cache-resident FP compute"),
+    "mgrid_like": ("streaming",
+                   KernelParams(hot_bytes=40 * KB, stride_bytes=16,
+                                compute=12, cold_period=0, use_fp=True,
+                                iterations=FOREVER, seed=20),
+                   "multigrid relaxation: mostly L2-resident"),
+    "swim_like": ("streaming",
+                  KernelParams(footprint_bytes=4 * MB, hot_bytes=40 * KB,
+                               stride_bytes=16, compute=1, stores=True,
+                               cold_period=16, cold_random=True,
+                               use_fp=True, iterations=FOREVER, seed=21),
+                  "shallow water: streaming with store-back"),
+    "wupwise_like": ("strided_fp",
+                     KernelParams(footprint_bytes=1280 * KB, hot_bytes=24 * KB,
+                                  stride_bytes=16, compute=10, cold_period=8,
+                                  use_fp=True, iterations=FOREVER, seed=22),
+                     "lattice QCD: compute-dense FP stencil"),
+    # ------------------------- SPECint -------------------------
+    "bzip2_like": ("branchy",
+                   KernelParams(footprint_bytes=1536 * KB, hot_bytes=16 * KB,
+                                stride_bytes=64, compute=3, cold_period=16,
+                                iterations=FOREVER, seed=23),
+                   "compression: data-dependent branches over a block"),
+    "crafty_like": ("compute",
+                    KernelParams(footprint_bytes=128 * KB, hot_bytes=16 * KB,
+                                 cold_period=16, compute=4,
+                                 iterations=FOREVER, seed=24),
+                    "chess: bitboard compute over a modest table"),
+    "eon_like": ("compute",
+                 KernelParams(footprint_bytes=128 * KB, hot_bytes=16 * KB,
+                              cold_period=8, compute=4, use_fp=True,
+                              iterations=FOREVER, seed=25),
+                 "ray tracer: compute-dense, cache-resident"),
+    "gap_like": ("random_access",
+                 KernelParams(footprint_bytes=2 * MB, hot_bytes=16 * KB,
+                              cold_period=16, compute=0,
+                              iterations=FOREVER, seed=26),
+                 "group theory: scattered reads over a big table"),
+    "gcc_like": ("random_access",
+                 KernelParams(footprint_bytes=512 * KB, hot_bytes=16 * KB,
+                              cold_period=8, compute=0,
+                              iterations=FOREVER, seed=27),
+                 "compiler: pointer-dense IR walks, L2-resident"),
+    "gzip_like": ("branchy",
+                  KernelParams(footprint_bytes=256 * KB, hot_bytes=16 * KB,
+                               stride_bytes=64, compute=3, cold_period=8,
+                               iterations=FOREVER, seed=28),
+                  "LZ77: unpredictable match/literal branches"),
+    "mcf_like": ("pointer_chase",
+                 KernelParams(footprint_bytes=8 * MB, compute=2,
+                              arc_loads=1, arc_bytes=4 * MB, chains=2,
+                              iterations=FOREVER, seed=29),
+                 "network simplex: the canonical dependent-miss chaser"),
+    "parser_like": ("random_access",
+                    KernelParams(footprint_bytes=1 * MB, hot_bytes=16 * KB,
+                                 cold_period=8, compute=1,
+                                 iterations=FOREVER, seed=30),
+                    "dictionary lookups over a mid-sized hash table"),
+    "perlbmk_like": ("compute",
+                     KernelParams(footprint_bytes=64 * KB, hot_bytes=16 * KB,
+                                  cold_period=16, compute=4,
+                                  iterations=FOREVER, seed=31),
+                     "interpreter: hot bytecode loop, small tables"),
+    "twolf_like": ("pointer_chase",
+                   KernelParams(footprint_bytes=256 * KB, compute=34,
+                                arc_loads=1, arc_bytes=128 * KB,
+                                iterations=FOREVER, seed=32),
+                   "place & route: short-range pointer chasing in L2"),
+    "vortex_like": ("compute",
+                    KernelParams(footprint_bytes=64 * KB, hot_bytes=16 * KB,
+                                 cold_period=32, compute=4,
+                                 iterations=FOREVER, seed=33),
+                    "OO database: cache-resident object twiddling"),
+    "vpr_like": ("pointer_chase",
+                 KernelParams(footprint_bytes=1280 * KB, compute=34,
+                              arc_loads=1, arc_bytes=512 * KB,
+                              iterations=FOREVER, seed=34),
+                 "FPGA routing: pointer chasing across a big netlist"),
+}
+
+SPECFP = [name for name in _SUITE_SPEC if name in (
+    "ammp_like", "applu_like", "apsi_like", "art_like", "equake_like",
+    "facerec_like", "galgel_like", "lucas_like", "mesa_like", "mgrid_like",
+    "swim_like", "wupwise_like")]
+SPECINT = [name for name in _SUITE_SPEC if name not in SPECFP]
+ALL_KERNELS = list(_SUITE_SPEC)
+
+
+def kernel_names() -> list[str]:
+    """All 24 kernel names, SPECfp first (Table 2 order)."""
+    return list(ALL_KERNELS)
+
+
+def build_kernel(name: str) -> Kernel:
+    """Assemble one kernel by name."""
+    try:
+        archetype, params, description = _SUITE_SPEC[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; choose from {ALL_KERNELS}"
+        ) from None
+    return make_kernel(name, archetype, ARCHETYPES[archetype], params,
+                       description)
+
+
+def build_suite(names=None) -> list[Kernel]:
+    """Assemble the full suite (or the given subset)."""
+    return [build_kernel(name) for name in (names or ALL_KERNELS)]
+
+
+def trace_kernel(kernel: Kernel, instructions: int = 20_000) -> Trace:
+    """Functionally execute a kernel for ``instructions`` dynamic
+    instructions (the sampling budget) and return its trace."""
+    executor = FunctionalExecutor(kernel.program)
+    return executor.run(max_instructions=instructions)
+
+
+def trace_by_name(name: str, instructions: int = 20_000) -> Trace:
+    return trace_kernel(build_kernel(name), instructions=instructions)

@@ -1,0 +1,136 @@
+"""Integration tests for Multipass and SLTP."""
+
+from repro.baselines import InOrderCore, MultipassCore, RunaheadCore, SLTPCore
+from repro.core.icfp import ICFPCore, ICFPFeatures
+from repro.functional import run_program
+from repro.isa import Assembler, R, assemble_text
+from repro.pipeline import MachineConfig
+
+A1 = 0x10000
+
+
+def independent_miss_program(n=6, with_compute=True):
+    a = Assembler("indep")
+    for i in range(n):
+        addr = 0x50000 + i * 0x4000
+        a.word(addr, i)
+        a.li(R.r1, addr)
+        a.ld(R.r2, R.r1, 0)
+        a.add(R.r3, R.r3, R.r2)
+        if with_compute:
+            for _ in range(4):
+                a.mul(R.r4, R.r4, R.r4)
+    a.halt()
+    return a.assemble()
+
+
+def run_core(cls, prog, **kw):
+    return cls(run_program(prog), config=MachineConfig.hpca09(), **kw).run()
+
+
+# ----------------------------------------------------------------------
+# Multipass
+# ----------------------------------------------------------------------
+def test_multipass_commits_everything_once():
+    prog = independent_miss_program()
+    trace = run_program(prog)
+    r = run_core(MultipassCore, prog)
+    assert r.instructions == len(trace)
+
+
+def test_multipass_records_and_reuses_results():
+    prog = independent_miss_program()
+    core = MultipassCore(run_program(prog), config=MachineConfig.hpca09())
+    core.run()
+    assert core.result_reuses > 0
+
+
+def test_multipass_beats_runahead_on_replay_heavy_code():
+    """Result reuse accelerates re-execution: Multipass >= Runahead."""
+    prog = independent_miss_program(n=8)
+    ra = run_core(RunaheadCore, prog, advance_on="l2_d1")
+    mp = run_core(MultipassCore, prog)
+    assert mp.cycles <= ra.cycles + 10
+
+
+def test_multipass_beats_inorder_on_independent_misses():
+    prog = independent_miss_program(n=8)
+    base = run_core(InOrderCore, prog)
+    mp = run_core(MultipassCore, prog)
+    assert mp.cycles < base.cycles
+
+
+# ----------------------------------------------------------------------
+# SLTP
+# ----------------------------------------------------------------------
+def test_sltp_commits_everything_once_and_state_is_correct():
+    prog = independent_miss_program()
+    trace = run_program(prog)
+    core = SLTPCore(trace, config=MachineConfig.hpca09(), advance_on="all")
+    r = core.run()
+    assert r.instructions == len(trace)
+    assert not core.validate_final_state()
+
+
+def test_sltp_speculative_lines_flushed_at_rally():
+    text = f"""
+        li r5, {A1}
+        li r6, 0x2000
+        li r7, 77
+        ld r2, r5, 0          # miss -> advance
+        st r7, r6, 0          # speculative cache write
+        ld r8, r6, 0          # forwards through the cache
+        addi r3, r2, 1        # dependent -> slice
+        halt
+    """
+    core = SLTPCore(run_program(assemble_text(text)),
+                    config=MachineConfig.hpca09(), advance_on="all")
+    core.run()
+    assert core.spec_line_flushes >= 1
+    assert core.committed_memory[0x2000] == 77
+    assert not core.validate_final_state()
+
+
+def test_sltp_blocking_rally_delays_tail_misses():
+    """Figure 1e: a dependent miss rallies while an independent miss
+    waits at the tail.  iCFP's non-blocking rally lets the tail reach
+    and overlap the independent miss; SLTP's blocking rally freezes the
+    tail until the dependent miss returns."""
+    a = Assembler("fig1e")
+    ch0, ch1, g = 0x60000, 0x70000, 0x80000
+    a.word(ch0, ch1)
+    a.word(ch1, 42)
+    a.word(g, 5)
+    a.li(R.r1, ch0)
+    a.ld(R.r1, R.r1, 0)       # miss A
+    a.ld(R.r1, R.r1, 0)       # dependent miss E (found during A's rally)
+    a.addi(R.r9, R.r1, 0)
+    for _ in range(500):      # serial tail: fetch reaches G only after
+        a.addi(R.r2, R.r2, 1)  # A's rally has begun
+    a.li(R.r3, g)
+    a.ld(R.r4, R.r3, 0)       # independent miss G
+    a.add(R.r5, R.r4, R.r4)
+    a.halt()
+    prog = a.assemble()
+
+    sltp = SLTPCore(run_program(prog), config=MachineConfig.hpca09(),
+                    advance_on="all")
+    sltp_result = sltp.run()
+    assert not sltp.validate_final_state()
+
+    icfp = ICFPCore(run_program(prog), config=MachineConfig.hpca09(),
+                    features=ICFPFeatures(validate=True))
+    icfp_result = icfp.run()
+    assert not icfp.validate_final_state()
+    # iCFP overlaps G with E; SLTP serialises them behind the rally.
+    assert icfp_result.cycles < sltp_result.cycles - 100
+
+
+def test_sltp_features_are_pinned():
+    """Whatever feature set is passed, SLTP pins its defining limits."""
+    core = SLTPCore(run_program(assemble_text("halt")),
+                    features=ICFPFeatures(nonblocking_rally=True,
+                                          mt_rally=True, poison_bits=8))
+    assert core.features.nonblocking_rally is False
+    assert core.features.mt_rally is False
+    assert core.features.poison_bits == 1

@@ -1,0 +1,330 @@
+"""Integration tests for the iCFP engine on small programs.
+
+Includes the paper's Figure 3 worked example (parallel-miss scenario
+with two dependence chains and the WAW-gated merge) reproduced with
+real addresses.
+"""
+
+import pytest
+
+from repro.baselines.inorder import InOrderCore
+from repro.core.icfp import ADVANCE, ICFPCore, ICFPFeatures, NORMAL
+from repro.functional import run_program
+from repro.isa import Assembler, R, assemble_text
+from repro.pipeline import MachineConfig
+
+# Cold addresses, all in distinct L1/L2 lines.
+A1, B1, A2, B2 = 0x10000, 0x20000, 0x30000, 0x40000
+
+
+def warm(core, addrs):
+    """Pre-install data lines directly in the tag arrays (no MSHR/bus
+    side effects, unlike issuing real accesses before cycle 0)."""
+    h = core.hierarchy
+    for addr in addrs:
+        h.l2.insert(h.config.l2.line_addr(addr))
+        h.l1d.insert(h.config.l1d.line_addr(addr))
+
+
+def icfp(trace, features=None, **cfg_over):
+    config = MachineConfig.hpca09(**cfg_over)
+    feats = features if features is not None else ICFPFeatures(validate=True)
+    return ICFPCore(trace, config=config, features=feats)
+
+
+def run_and_validate(core):
+    result = core.run()
+    problems = core.validate_final_state()
+    assert not problems, "\n".join(problems)
+    assert core.mode == NORMAL
+    return result
+
+
+def figure3_program():
+    """The Figure 3 dataflow pattern with line-separated addresses."""
+    a = Assembler("figure3")
+    a.word(A1, 9)
+    a.word(B1, 2)
+    a.word(A2, 3)
+    a.word(B2, 4)
+    a.li(R.r1, A1)
+    a.li(R.r2, B1)
+    a.ld(R.r3, R.r1, 0)       # seq 0: miss (A1 cold)
+    a.ld(R.r4, R.r2, 0)       # seq 1: hit  (B1 warm) -> 2
+    a.mul(R.r4, R.r3, R.r4)   # seq 2: poisoned via r3
+    a.st(R.r4, R.r1, 0)       # seq 3: data-poisoned store
+    a.li(R.r1, A2)            # seq 4
+    a.li(R.r2, B2)            # seq 5
+    a.ld(R.r3, R.r1, 0)       # seq 6: hit  (A2 warm) -> 3
+    a.ld(R.r4, R.r2, 0)       # seq 7: miss (B2 cold)
+    a.mul(R.r4, R.r3, R.r4)   # seq 8: poisoned via r4
+    a.st(R.r4, R.r1, 0)       # seq 9: data-poisoned store
+    a.halt()
+    return a.assemble()
+
+
+def test_figure3_worked_example():
+    trace = run_program(figure3_program())
+    core = icfp(trace)
+    warm(core, [B1, A2])
+    result = run_and_validate(core)
+
+    # One advance episode, six sliced instructions, two rally passes.
+    assert core.stats.advance_entries == 1
+    assert core.stats.slice_captures == 6
+    assert core.stats.rally_passes == 2
+
+    # Architectural outcome of the merge (Figure 3c).
+    assert core.main_rf.values[R.r4] == 12
+    assert core.committed_memory[A1] == 18
+    assert core.committed_memory[A2] == 12
+    assert result.instructions == len(trace)
+
+
+def test_figure3_waw_gating_observable():
+    """During the first rally, r3/r4 writes must be suppressed because
+    younger advance instructions (seq 6/8) are the last writers."""
+    trace = run_program(figure3_program())
+    core = icfp(trace)
+    warm(core, [B1, A2])
+    # Drive manually until the first rally pass has completed.
+    while core.stats.rally_passes < 1 or core.rally_active:
+        core.step_cycle()
+        if core.done():
+            break
+    # After the first rally: r3 still holds seq-6's value (3), and r4 is
+    # still poisoned (its last writer, seq 8, waits on the second miss).
+    assert core.main_rf.values[R.r3] == 3
+    assert core.main_rf.poison[R.r4] != 0
+    core.run()
+    assert not core.validate_final_state()
+
+
+def test_no_miss_program_never_advances():
+    trace = run_program(assemble_text(
+        """
+        li r1, 5
+        li r2, 6
+        add r3, r1, r2
+        mul r4, r3, r1
+        halt
+        """
+    ))
+    core = icfp(trace)
+    result = run_and_validate(core)
+    assert core.stats.advance_entries == 0
+    assert result.instructions == 5
+
+
+def test_lone_miss_commits_independents_under_it():
+    """Figure 1a: iCFP commits miss-independent work under a lone miss
+    and re-executes only the two-instruction slice."""
+    text = f"""
+        li r1, {A1}
+        ld r2, r1, 0
+        addi r3, r2, 1
+    """ + "\n".join(["addi r4, r4, 1"] * 60) + "\nhalt"
+    trace = run_program(assemble_text(text))
+    core = icfp(trace)
+    result = run_and_validate(core)
+    assert core.stats.advance_entries == 1
+    assert core.stats.slice_captures == 2  # the load and its use
+    assert core.stats.rally_instructions >= 2
+
+    base = InOrderCore(run_program(assemble_text(text)),
+                       config=MachineConfig.hpca09()).run()
+    assert result.cycles < base.cycles  # filler hidden under the miss
+
+
+def test_independent_misses_overlap():
+    """Figure 1b: stall-on-use in-order serialises use-miss pairs; iCFP
+    overlaps all of them."""
+    a = Assembler("indep")
+    addrs = [0x50000 + i * 0x4000 for i in range(8)]
+    for i, addr in enumerate(addrs):
+        a.word(addr, i)
+        a.li(R.r1, addr)
+        a.ld(R.r2, R.r1, 0)
+        a.add(R.r3, R.r3, R.r2)  # immediate use forces in-order stall
+    a.halt()
+    prog = a.assemble()
+
+    base = InOrderCore(run_program(prog), config=MachineConfig.hpca09()).run()
+    core = icfp(run_program(prog))
+    result = run_and_validate(core)
+    assert result.cycles < base.cycles * 0.45  # overlapped vs serialised
+    assert core.stats.d_mlp.average() > 2.0
+
+
+def test_dependent_miss_chain_multiple_rallies():
+    """Figure 1c/d: a pointer chain forces one rally pass per link."""
+    a = Assembler("chain")
+    chain = [0x60000, 0x70000, 0x80000, 0x90000]
+    for here, there in zip(chain, chain[1:]):
+        a.word(here, there)
+    a.word(chain[-1], 1234)
+    a.li(R.r1, chain[0])
+    for _ in range(len(chain)):
+        a.ld(R.r1, R.r1, 0)
+    a.addi(R.r2, R.r1, 0)
+    a.halt()
+    trace = run_program(a.assemble())
+    core = icfp(trace)
+    result = run_and_validate(core)
+    assert core.main_rf.values[R.r2] == 1234
+    assert core.stats.rally_passes >= len(chain) - 1
+    assert core.stats.rallies_per_ki() > 0
+
+
+def test_store_load_forwarding_under_miss():
+    """A store under a miss forwards to a younger independent load via
+    the chained store buffer (no cache write until commit)."""
+    text = f"""
+        li r5, {A1}
+        li r6, 0x2000
+        li r7, 77
+        ld r2, r5, 0         # cold miss -> advance
+        st r7, r6, 0         # independent store under the miss
+        ld r8, r6, 0         # forwards from the store buffer
+        addi r3, r2, 1       # miss-dependent
+        halt
+    """
+    trace = run_program(assemble_text(text))
+    core = icfp(trace)
+    result = run_and_validate(core)
+    assert core.stats.store_forward_hits >= 1
+    assert core.committed_memory[0x2000] == 77
+    assert core.main_rf.values[R.r8] == 77
+
+
+def test_poisoned_data_store_forwards_poison():
+    """A load forwarding from a miss-dependent store gets poisoned and
+    rallies later with the correct value."""
+    text = f"""
+        li r5, {A1}
+        li r6, 0x2000
+        ld r2, r5, 0         # miss
+        addi r2, r2, 1       # dependent
+        st r2, r6, 0         # data-poisoned store
+        ld r8, r6, 0         # forwards poison -> sliced
+        addi r9, r8, 1       # dependent on the poisoned load
+        halt
+    """
+    trace = run_program(assemble_text(text))
+    core = icfp(trace)
+    run_and_validate(core)
+    assert core.main_rf.values[R.r8] == trace.final_state.regs[R.r8]
+    assert core.main_rf.values[R.r9] == trace.final_state.regs[R.r9]
+    assert core.committed_memory[0x2000] == trace.final_state.memory[0x2000]
+
+
+def test_poisoned_address_store_falls_back_to_simple_runahead():
+    text = f"""
+        li r5, {A1}
+        li r7, 99
+        ld r2, r5, 0         # miss: r2 poisoned (value is {B1})
+        st r7, r2, 0         # poisoned ADDRESS store
+        addi r3, r7, 1       # would-be independent work
+        halt
+    """
+    prog = assemble_text(text)
+    prog.data[A1] = B1  # the chased pointer
+    trace = run_program(prog)
+    core = icfp(trace)
+    run_and_validate(core)
+    assert core.stats.simple_runahead_entries >= 1
+    assert core.committed_memory[B1] == 99
+
+
+def test_slice_buffer_overflow_falls_back_and_recovers():
+    a = Assembler("overflow")
+    a.word(A1, 5)
+    a.li(R.r1, A1)
+    a.ld(R.r2, R.r1, 0)            # miss
+    for _ in range(40):            # long dependent chain: 40 slices
+        a.addi(R.r2, R.r2, 1)
+    a.addi(R.r3, R.r2, 0)
+    a.halt()
+    trace = run_program(a.assemble())
+    core = icfp(trace, features=ICFPFeatures(validate=True, slice_entries=8))
+    run_and_validate(core)
+    assert core.stats.simple_runahead_entries >= 1
+    assert core.main_rf.values[R.r3] == 45
+
+
+def test_poisoned_mispredicted_branch_squashes():
+    """A branch whose direction depends on missed data and whose
+    prediction is wrong must squash to the checkpoint at rally."""
+    text = f"""
+        li r5, {A1}
+        li r6, 1
+        ld r2, r5, 0          # miss; loaded value is 7 (odd)
+        andi r3, r2, 1
+        beq r3, r6, taken     # poisoned branch, actually taken
+        addi r9, r9, 500      # not executed architecturally
+        taken:
+        addi r9, r9, 3
+        halt
+    """
+    prog = assemble_text(text)
+    prog.data[A1] = 7
+    trace = run_program(prog)
+    core = icfp(trace)
+    run_and_validate(core)
+    assert core.stats.squashes >= 1
+    assert core.main_rf.values[R.r9] == 3
+
+
+def test_external_store_signature_squash():
+    trace = run_program(assemble_text(
+        f"""
+        li r5, {A1}
+        li r6, 0x2000
+        ld r2, r5, 0          # miss -> advance
+        ld r7, r6, 0          # vulnerable cache load under the miss
+        addi r3, r2, 1
+        halt
+        """
+    ))
+    core = icfp(trace)
+    warm(core, [0x2000])  # the vulnerable load must hit the cache
+    # Run until we are in advance mode with the vulnerable load done.
+    while core.mode != ADVANCE or core.signature.empty:
+        core.step_cycle()
+        assert not core.done()
+    assert core.external_store(0x2000) is True
+    assert core.stats.squashes == 1
+    assert core.external_store(0x2000) is False  # back to normal mode
+    core.run()
+    assert not core.validate_final_state()
+
+
+def test_l2_only_trigger_ignores_l1_misses():
+    """advance_on='l2' must not advance past an L1-miss/L2-hit."""
+    a = Assembler("l2only")
+    a.word(A1, 5)
+    a.li(R.r1, A1)
+    a.ld(R.r2, R.r1, 0)
+    a.addi(R.r3, R.r2, 1)
+    a.halt()
+    trace = run_program(a.assemble())
+    core = icfp(trace, features=ICFPFeatures(validate=True, advance_on="l2"))
+    # A1 resident in L2 but not in L1: an L1 miss that hits the L2.
+    core.hierarchy.l2.insert(core.hierarchy.config.l2.line_addr(A1))
+    run_and_validate(core)
+    assert core.stats.advance_entries == 0  # L2 hit: no advance
+
+
+def test_trace_truncation_mid_advance_still_terminates():
+    text = f"""
+        li r5, {A1}
+        loop:
+        ld r2, r5, 0
+        addi r2, r2, 1
+        j loop
+    """
+    trace = run_program(assemble_text(text), max_instructions=30)
+    core = icfp(trace)
+    result = core.run()
+    assert core.mode == NORMAL
+    assert result.instructions == 30

@@ -1,0 +1,74 @@
+"""The idle-cycle fast-forward must be a pure optimisation.
+
+Every model's cycle count with skipping enabled must equal a
+cycle-by-cycle simulation.  This is the load-bearing guard for the
+`_skip_idle_cycles` machinery (a skip past a wake-up event would change
+reported performance, not just speed)."""
+
+import pytest
+
+from repro.baselines import InOrderCore, MultipassCore, RunaheadCore, SLTPCore
+from repro.core.icfp import ICFPCore, ICFPFeatures
+from repro.functional import run_program
+from repro.isa import Assembler, R, assemble_text
+from repro.pipeline import MachineConfig
+
+
+def no_skip(core):
+    core._skip_idle_cycles = lambda: None
+    return core
+
+
+def programs():
+    # A miss-heavy mix: independent misses, a dependent chain, stores.
+    a = Assembler("mix")
+    chain = [0x60000, 0x70000, 0x80000]
+    for here, there in zip(chain, chain[1:]):
+        a.word(here, there)
+    a.word(chain[-1], 7)
+    a.li(R.r1, chain[0])
+    a.ld(R.r1, R.r1, 0)
+    a.ld(R.r1, R.r1, 0)
+    a.li(R.r4, 0x90000)
+    a.ld(R.r5, R.r4, 0)
+    a.add(R.r6, R.r5, R.r1)
+    a.li(R.r7, 0x2000)
+    a.st(R.r6, R.r7, 0)
+    a.ld(R.r8, R.r7, 0)
+    for _ in range(30):
+        a.addi(R.r9, R.r9, 1)
+    a.halt()
+    yield a.assemble()
+
+    yield assemble_text(
+        """
+        li r1, 0
+        li r2, 40
+        loop:
+            addi r1, r1, 1
+            mul r3, r1, r1
+            bne r1, r2, loop
+        halt
+        """
+    )
+
+
+MODELS = [
+    (InOrderCore, {}),
+    (RunaheadCore, {"advance_on": "l2"}),
+    (MultipassCore, {}),
+    (SLTPCore, {"advance_on": "all"}),
+    (ICFPCore, {"features": ICFPFeatures()}),
+]
+
+
+@pytest.mark.parametrize("cls,kwargs", MODELS,
+                         ids=[c.__name__ for c, _ in MODELS])
+def test_idle_skip_is_timing_neutral(cls, kwargs):
+    for program in programs():
+        trace = run_program(program)
+        fast = cls(trace, config=MachineConfig.hpca09(), **kwargs).run()
+        slow_core = no_skip(cls(trace, config=MachineConfig.hpca09(), **kwargs))
+        slow = slow_core.run()
+        assert fast.cycles == slow.cycles, program.name
+        assert fast.instructions == slow.instructions

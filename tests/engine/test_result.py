@@ -1,0 +1,46 @@
+"""Unit tests for SimResult."""
+
+import pytest
+
+from repro.engine import SimResult
+from repro.pipeline import CoreStats
+
+
+def result(model="icfp", workload="w", cycles=100, instructions=200):
+    stats = CoreStats()
+    stats.cycles = cycles
+    stats.instructions = instructions
+    return SimResult(model, workload, stats)
+
+
+def test_basic_properties():
+    r = result()
+    assert r.cycles == 100
+    assert r.instructions == 200
+    assert r.ipc == pytest.approx(2.0)
+
+
+def test_speedup_over():
+    fast = result(cycles=100)
+    slow = result(model="in-order", cycles=150)
+    assert fast.speedup_over(slow) == pytest.approx(1.5)
+    assert fast.percent_speedup_over(slow) == pytest.approx(50.0)
+    assert slow.speedup_over(slow) == pytest.approx(1.0)
+
+
+def test_zero_cycles_guard():
+    broken = result(cycles=0)
+    baseline = result(model="in-order", cycles=10)
+    assert broken.speedup_over(baseline) == 0.0
+
+
+def test_cross_workload_rejected():
+    a = result(workload="a")
+    b = result(workload="b")
+    with pytest.raises(ValueError):
+        a.speedup_over(b)
+
+
+def test_str_contains_key_facts():
+    text = str(result())
+    assert "icfp" in text and "IPC" in text

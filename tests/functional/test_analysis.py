@@ -1,0 +1,133 @@
+"""Unit tests for the trace-analysis toolkit."""
+
+import pytest
+
+from repro.functional import run_program
+from repro.functional.analysis import (
+    characterise,
+    dataflow_stats,
+    load_chain_stats,
+    working_set_stats,
+)
+from repro.isa import Assembler, R, assemble_text
+from repro.workloads import trace_by_name
+
+
+def trace_of(text):
+    return run_program(assemble_text(text))
+
+
+# ----------------------------------------------------------------------
+# dataflow
+# ----------------------------------------------------------------------
+def test_serial_chain_has_unit_ilp():
+    trace = trace_of("\n".join(["addi r1, r1, 1"] * 20 + ["halt"]))
+    stats = dataflow_stats(trace)
+    assert stats.critical_path == 20
+    assert stats.ilp_bound == pytest.approx(21 / 20)
+    assert stats.mean_dependence_distance == pytest.approx(1.0)
+
+
+def test_parallel_streams_have_high_ilp():
+    body = []
+    for _ in range(10):
+        body += ["addi r1, r1, 1", "addi r2, r2, 1", "addi r3, r3, 1"]
+    trace = trace_of("\n".join(body + ["halt"]))
+    stats = dataflow_stats(trace)
+    assert stats.critical_path == 10
+    assert stats.ilp_bound > 2.5
+    assert stats.mean_dependence_distance == pytest.approx(3.0)
+
+
+def test_independent_instructions_depth_one():
+    trace = trace_of("li r1, 1\nli r2, 2\nli r3, 3\nhalt")
+    assert dataflow_stats(trace).critical_path == 1
+
+
+# ----------------------------------------------------------------------
+# load chains
+# ----------------------------------------------------------------------
+def test_pointer_chase_depth_counts_hops():
+    a = Assembler()
+    chain = [0x2000, 0x3000, 0x4000]
+    for here, there in zip(chain, chain[1:]):
+        a.word(here, there)
+    a.word(chain[-1], 0)
+    a.li(R.r1, chain[0])
+    for _ in range(3):
+        a.ld(R.r1, R.r1, 0)
+    a.halt()
+    stats = load_chain_stats(run_program(a.assemble()))
+    assert stats.max_chain_depth == 2  # third load depends on two loads
+    assert stats.chained_load_fraction == pytest.approx(2 / 3)
+    assert stats.depth_histogram == {0: 1, 1: 1, 2: 1}
+
+
+def test_streaming_loads_are_unchained():
+    trace = trace_of(
+        """
+        li r1, 0x2000
+        ld r2, r1, 0
+        ld r3, r1, 8
+        ld r4, r1, 16
+        halt
+        """
+    )
+    stats = load_chain_stats(trace)
+    assert stats.max_chain_depth == 0
+    assert stats.chained_load_fraction == 0.0
+
+
+def test_suite_kernels_classified_correctly():
+    mcf = load_chain_stats(trace_by_name("mcf_like", 3000))
+    art = load_chain_stats(trace_by_name("art_like", 3000))
+    assert mcf.chained_load_fraction > 0.3   # chain-dominated
+    assert mcf.max_chain_depth > 10
+    assert art.chained_load_fraction < 0.1   # stream-dominated
+
+
+# ----------------------------------------------------------------------
+# working set
+# ----------------------------------------------------------------------
+def test_working_set_counts_lines():
+    trace = trace_of(
+        """
+        li r1, 0x2000
+        ld r2, r1, 0
+        ld r3, r1, 8
+        ld r4, r1, 64
+        halt
+        """
+    )
+    stats = working_set_stats(trace)
+    assert stats.total_lines == 2
+    assert stats.hottest_lines[0][1] == 2  # line 0x2000 touched twice
+
+
+def test_working_set_concentration():
+    a = Assembler()
+    a.li(R.r1, 0x2000)
+    for _ in range(18):
+        a.ld(R.r2, R.r1, 0)       # hot line
+    a.ld(R.r3, R.r1, 256)         # two cold lines
+    a.ld(R.r4, R.r1, 512)
+    a.halt()
+    stats = working_set_stats(run_program(a.assemble()))
+    assert stats.total_lines == 3
+    assert stats.lines_for_90_percent == 1
+
+
+def test_working_set_empty_trace():
+    stats = working_set_stats(trace_of("nop\nhalt"))
+    assert stats.total_lines == 0
+    assert stats.hottest_lines == []
+
+
+# ----------------------------------------------------------------------
+# characterise
+# ----------------------------------------------------------------------
+def test_characterise_mentions_kind():
+    text = characterise(trace_by_name("mcf_like", 2000))
+    assert "pointer-chasing" in text
+    text = characterise(trace_by_name("art_like", 2000))
+    assert "streaming/compute" in text

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("characterize", "figure5", "figure6", "figure7",
+                    "figure8", "table2", "scenarios", "area", "sweep", "run"):
+        assert command in text
+
+
+def test_area_command(capsys):
+    out = run_cli(capsys, "area")
+    assert "icfp" in out and "mm^2" in out
+
+
+def test_run_command_single_model(capsys):
+    out = run_cli(capsys, "run", "mesa_like", "icfp", "-n", "800")
+    assert "icfp" in out and "cycles" in out
+
+
+def test_run_command_all_models(capsys):
+    out = run_cli(capsys, "run", "vortex_like", "all", "-n", "600")
+    for model in ("in-order", "runahead", "multipass", "sltp", "icfp"):
+        assert model in out
+
+
+def test_characterize_subset(capsys):
+    out = run_cli(capsys, "characterize", "-w", "mesa_like", "-n", "800")
+    assert "mesa_like" in out and "D$/KI" in out
+
+
+def test_table2_subset(capsys):
+    out = run_cli(capsys, "table2", "-w", "mesa_like", "-n", "800")
+    assert "Rally/KI" in out
+
+
+def test_figure5_subset(capsys):
+    out = run_cli(capsys, "figure5", "-w", "mesa_like,vortex_like",
+                  "-n", "600")
+    assert "gmean SPEC" in out
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(SystemExit):
+        main(["characterize", "-w", "quake_like"])
+
+
+def test_run_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["run", "mesa_like", "tomasulo"])

@@ -1,0 +1,66 @@
+"""Smoke tests for the figure generators on tiny budgets.
+
+The benchmarks run the real campaigns; these tests only verify the
+plumbing — structure, labels, group means, and formatting — so they use
+two kernels and a few hundred instructions.
+"""
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+)
+
+TINY = ExperimentConfig(instructions=800)
+DUO = ("mesa_like", "gap_like")
+
+
+def test_figure5_structure():
+    fig = figure5(TINY, workloads=DUO)
+    assert fig.workloads == list(DUO)
+    for model in ("runahead", "multipass", "sltp", "icfp"):
+        assert set(fig.percent[model]) == set(DUO)
+        assert set(fig.geomeans[model]) == {"SPECfp", "SPECint", "SPEC"}
+    text = format_figure5(fig)
+    assert "gap_like" in text and "gmean SPEC" in text
+
+
+def test_figure6_structure():
+    fig = figure6(latencies=(10, 30), workloads=["mesa_like"], config=TINY)
+    assert fig.latencies == [10, 30]
+    assert "in-order" in fig.percent and "iCFP-all" in fig.percent
+    assert set(fig.percent["iCFP-all"]) == {10, 30}
+    # A slower L2 cannot speed the in-order reference up.
+    assert fig.percent["in-order"][10] >= fig.percent["in-order"][30]
+    assert "L2 latency" in format_figure6(fig)
+
+
+def test_figure7_structure():
+    fig = figure7(TINY, workloads=DUO)
+    assert len(fig.bars) == 5
+    for bar in fig.bars:
+        assert "gmean" in fig.percent[bar]
+    assert "iCFP" in format_figure7(fig)
+
+
+def test_figure8_structure():
+    fig = figure8(TINY, workloads=DUO)
+    assert len(fig.kinds) == 3
+    assert set(fig.hops_per_load) == set(DUO)
+    assert "hops/load" in format_figure8(fig)
+
+
+def test_figure5_empty_workloads_yields_nan_means():
+    import math
+
+    fig = figure5(TINY, workloads=[])
+    assert fig.workloads == []
+    assert math.isnan(fig.geomeans["icfp"]["SPECfp"])

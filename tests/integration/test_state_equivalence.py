@@ -1,0 +1,146 @@
+"""Property-based validation: every machine model preserves architecture.
+
+The core invariant of the whole reproduction: no matter what the timing
+models do — advance, slice, rally, squash, fall back — the committed
+architectural state must equal a pure functional execution.  Hypothesis
+generates random programs (ALU dataflow, memory traffic through a small
+set of addresses, data-dependent branches) and we check end-state
+equivalence for iCFP and SLTP (the models that maintain architectural
+values), plus instruction-count conservation for all five models.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import InOrderCore, MultipassCore, RunaheadCore, SLTPCore
+from repro.core.icfp import ICFPCore, ICFPFeatures
+from repro.functional import run_program
+from repro.isa import Assembler, R
+from repro.pipeline import MachineConfig
+
+#: A handful of word addresses in distinct cache lines (some cold, some
+#: colliding in L1 sets) keeps store/load interactions interesting.
+ADDRESSES = [0x20000 + i * 0x1040 for i in range(6)]
+
+_regs = st.integers(min_value=1, max_value=9)
+_addr_index = st.integers(min_value=0, max_value=len(ADDRESSES) - 1)
+
+_ops = st.one_of(
+    st.tuples(st.just("alu"), _regs, _regs, _regs,
+              st.sampled_from(["add", "sub", "xor", "mul"])),
+    st.tuples(st.just("addi"), _regs, _regs,
+              st.integers(min_value=-64, max_value=64)),
+    st.tuples(st.just("load"), _regs, _addr_index),
+    st.tuples(st.just("store"), _regs, _addr_index),
+    st.tuples(st.just("branch"), _regs,
+              st.integers(min_value=1, max_value=3)),
+)
+
+
+def build_program(ops):
+    """Assemble a random straight-line-with-skips program."""
+    a = Assembler("hypothesis")
+    for i, addr in enumerate(ADDRESSES):
+        a.word(addr, i * 17 + 1)
+    for i in range(1, 10):
+        a.li(getattr(R, f"r{i}"), i * 3)
+    a.li(R.r10, ADDRESSES[0])  # base register for memory ops
+    skip = 0
+    for n, op in enumerate(ops):
+        kind = op[0]
+        if kind == "alu":
+            _, d, s1, s2, name = op
+            getattr(a, name)(getattr(R, f"r{d}"), getattr(R, f"r{s1}"),
+                             getattr(R, f"r{s2}"))
+        elif kind == "addi":
+            _, d, s, imm = op
+            a.addi(getattr(R, f"r{d}"), getattr(R, f"r{s}"), imm)
+        elif kind == "load":
+            _, d, idx = op
+            a.ld(getattr(R, f"r{d}"), R.r10, ADDRESSES[idx] - ADDRESSES[0])
+        elif kind == "store":
+            _, s, idx = op
+            a.st(getattr(R, f"r{s}"), R.r10, ADDRESSES[idx] - ADDRESSES[0])
+        elif kind == "branch":
+            _, s, dist = op
+            label = f"skip{skip}"
+            skip += 1
+            a.andi(R.r11, getattr(R, f"r{s}"), 1)
+            a.beq(R.r11, R.r0, label)
+            a.addi(R.r12, R.r12, 1)
+            a.label(label)
+    a.halt()
+    return a.assemble()
+
+
+def config():
+    return dataclasses.replace(MachineConfig.hpca09(), warm_dcache=False)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_ops, min_size=5, max_size=60))
+def test_icfp_final_state_matches_functional(ops):
+    trace = run_program(build_program(ops))
+    core = ICFPCore(trace, config=config(),
+                    features=ICFPFeatures(validate=True))
+    result = core.run()
+    problems = core.validate_final_state()
+    assert not problems, "\n".join(problems)
+    assert result.instructions == len(trace)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_ops, min_size=5, max_size=60))
+def test_sltp_final_state_matches_functional(ops):
+    trace = run_program(build_program(ops))
+    core = SLTPCore(trace, config=config(), advance_on="all")
+    result = core.run()
+    problems = core.validate_final_state()
+    assert not problems, "\n".join(problems)
+    assert result.instructions == len(trace)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_ops, min_size=5, max_size=50))
+def test_all_models_commit_every_instruction_once(ops):
+    trace = run_program(build_program(ops))
+    for cls, kwargs in (
+        (InOrderCore, {}),
+        (RunaheadCore, {"advance_on": "l2"}),
+        (MultipassCore, {}),
+        (SLTPCore, {"advance_on": "all"}),
+        (ICFPCore, {"features": ICFPFeatures(validate=True)}),
+    ):
+        core = cls(trace, config=config(), **kwargs)
+        result = core.run()
+        assert result.instructions == len(trace), cls.__name__
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_ops, min_size=5, max_size=50),
+       st.sampled_from(["chained", "assoc"]))
+def test_store_buffer_kind_never_changes_architecture(ops, kind):
+    trace = run_program(build_program(ops))
+    core = ICFPCore(trace, config=config(),
+                    features=ICFPFeatures(validate=True,
+                                          store_buffer_kind=kind))
+    core.run()
+    assert not core.validate_final_state()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_ops, min_size=5, max_size=50),
+       st.sampled_from([1, 2, 8]))
+def test_poison_width_never_changes_architecture(ops, bits):
+    trace = run_program(build_program(ops))
+    core = ICFPCore(trace, config=config(),
+                    features=ICFPFeatures(validate=True, poison_bits=bits))
+    core.run()
+    assert not core.validate_final_state()

@@ -1,0 +1,58 @@
+"""Unit tests for the register namespace."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_REGS,
+    R,
+    fp_reg,
+    int_reg,
+    is_fp,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_int_reg_range():
+    assert int_reg(0) == 0
+    assert int_reg(31) == 31
+    with pytest.raises(ValueError):
+        int_reg(32)
+    with pytest.raises(ValueError):
+        int_reg(-1)
+
+
+def test_fp_reg_range():
+    assert fp_reg(0) == FP_BASE
+    assert fp_reg(15) == FP_BASE + 15
+    with pytest.raises(ValueError):
+        fp_reg(16)
+
+
+def test_is_fp():
+    assert not is_fp(int_reg(31))
+    assert is_fp(fp_reg(0))
+
+
+def test_reg_name_round_trip():
+    for idx in range(NUM_REGS):
+        assert parse_reg(reg_name(idx)) == idx
+
+
+def test_reg_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(NUM_REGS)
+
+
+def test_parse_reg_rejects_garbage():
+    for bad in ("x3", "r", "rx", "", "f99"):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+
+def test_namespace_attribute_access():
+    assert R.r7 == 7
+    assert R.f2 == FP_BASE + 2
+    with pytest.raises(AttributeError):
+        _ = R.q1

@@ -1,0 +1,80 @@
+"""Property test: the cache model against a brute-force LRU reference."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache, CacheConfig
+
+
+class ReferenceLRU:
+    """Set-associative LRU cache, the slow obvious way."""
+
+    def __init__(self, assoc: int, sets: int) -> None:
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(sets)]
+
+    def _set(self, line: int) -> OrderedDict:
+        return self.sets[line % len(self.sets)]
+
+    def lookup(self, line: int) -> bool:
+        ways = self._set(line)
+        if line in ways:
+            ways.move_to_end(line)
+            return True
+        return False
+
+    def insert(self, line: int):
+        ways = self._set(line)
+        if line in ways:
+            ways.move_to_end(line)
+            return None
+        ways[line] = True
+        if len(ways) > self.assoc:
+            victim, _ = ways.popitem(last=False)
+            return victim
+        return None
+
+    def invalidate(self, line: int) -> bool:
+        ways = self._set(line)
+        return ways.pop(line, None) is not None
+
+
+_events = st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert", "invalidate"]),
+              st.integers(min_value=0, max_value=63)),
+    min_size=1, max_size=300,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_events)
+def test_cache_matches_reference_lru(events):
+    assoc, sets = 2, 4
+    cache = Cache(CacheConfig("t", assoc * sets * 64, assoc, 64, 1))
+    reference = ReferenceLRU(assoc, sets)
+    for kind, line in events:
+        if kind == "lookup":
+            assert cache.lookup(line) == reference.lookup(line)
+        elif kind == "insert":
+            got = cache.insert(line)
+            want = reference.insert(line)
+            got_line = got[0] if got is not None else None
+            assert got_line == want
+        else:
+            assert cache.invalidate(line) == reference.invalidate(line)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_events)
+def test_cache_residency_never_exceeds_capacity(events):
+    assoc, sets = 4, 2
+    cache = Cache(CacheConfig("t", assoc * sets * 64, assoc, 64, 1))
+    for kind, line in events:
+        if kind == "insert":
+            cache.insert(line)
+        elif kind == "lookup":
+            cache.lookup(line)
+        else:
+            cache.invalidate(line)
+        assert cache.resident_lines() <= assoc * sets

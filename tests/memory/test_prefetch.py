@@ -1,0 +1,98 @@
+"""Unit tests for the stream-buffer prefetcher."""
+
+from repro.memory import MainMemory, StreamPrefetcher
+
+
+def make_prefetcher(buffers=2, depth=4):
+    mem = MainMemory(latency=100, chunk_cycles=4, chunk_bytes=16, line_bytes=128)
+    return StreamPrefetcher(mem, num_buffers=buffers, depth=depth), mem
+
+
+def test_first_miss_allocates_stream():
+    pf, mem = make_prefetcher()
+    assert pf.access(100, cycle=0) is None
+    assert pf.allocations == 1
+    assert pf.prefetch_issues == 4  # filled to depth
+    # The stream holds lines 101..104.
+    buf = next(b for b in pf.buffers if b.live)
+    assert [e.line_addr for e in buf.queue] == [101, 102, 103, 104]
+
+
+def test_sequential_misses_hit_the_stream():
+    pf, mem = make_prefetcher()
+    pf.access(100, cycle=0)
+    ready = pf.access(101, cycle=50)
+    assert ready is not None
+    assert pf.hits == 1
+    # The stream topped itself up past the consumed line.
+    buf = next(b for b in pf.buffers if b.live)
+    assert buf.queue[0].line_addr == 102
+    assert buf.queue[-1].line_addr == 105
+
+
+def test_skipping_ahead_consumes_intermediate_lines():
+    pf, mem = make_prefetcher(depth=4)
+    pf.access(200, cycle=0)
+    ready = pf.access(203, cycle=10)  # skips 201, 202
+    assert ready is not None
+    buf = next(b for b in pf.buffers if b.live)
+    assert buf.queue[0].line_addr == 204
+
+
+def test_unrelated_miss_allocates_second_stream():
+    pf, mem = make_prefetcher(buffers=2)
+    pf.access(100, cycle=0)
+    pf.access(500, cycle=1)
+    assert pf.allocations == 2
+    live = [b for b in pf.buffers if b.live]
+    assert len(live) == 2
+
+
+def test_lru_stream_replacement():
+    pf, mem = make_prefetcher(buffers=2)
+    pf.access(100, cycle=0)   # stream A
+    pf.access(500, cycle=10)  # stream B
+    pf.access(101, cycle=20)  # hit stream A, making B the LRU
+    pf.access(900, cycle=30)  # must replace B
+    lines = {e.line_addr for b in pf.buffers for e in b.queue}
+    assert any(line > 900 for line in lines)
+    assert all(not (501 <= line <= 510) for line in lines)
+
+
+def test_prefetches_yield_to_demand_fills():
+    pf, mem = make_prefetcher(buffers=1, depth=4)
+    pf.access(100, cycle=0)
+    # 4 prefetches are in flight, but a demand fill jumps the queue.
+    demand = mem.read_line(0)
+    assert demand == 100  # raw latency, unaffected by prefetch traffic
+    assert mem.reads == 5
+    # A new prefetch, in contrast, queues behind everything so far.
+    before = mem.bus.next_free
+    late = mem.read_line(0, prefetch=True)
+    assert late >= before
+
+
+def test_disabled_prefetcher_never_hits():
+    mem = MainMemory()
+    pf = StreamPrefetcher(mem, num_buffers=0, depth=0)
+    assert not pf.enabled()
+    assert pf.access(1, 0) is None
+    assert pf.access(2, 0) is None
+    assert pf.hits == 0
+
+
+def test_lookup_does_not_allocate():
+    mem = MainMemory(latency=100, chunk_cycles=4, chunk_bytes=16, line_bytes=128)
+    pf = StreamPrefetcher(mem, num_buffers=2, depth=4)
+    assert pf.lookup(100, 0) is None
+    assert pf.allocations == 0
+    assert mem.reads == 0  # demand fill gets the bus first
+    pf.train(100, 0)
+    assert pf.allocations == 1
+
+
+def test_outstanding_accounting():
+    pf, mem = make_prefetcher(buffers=1, depth=2)
+    pf.access(100, cycle=0)
+    assert pf.outstanding(0) == 2
+    assert pf.outstanding(10_000) == 0
