@@ -1,0 +1,35 @@
+# Developer entry points for the iCFP (HPCA 2009) reproduction.
+#
+# `make smoke` is the fast verification path: a reduced instruction
+# budget and kernel subset that exercises every layer (workloads,
+# functional executor, all five machine models, the campaign engine)
+# in well under a minute, so the full suite isn't the only signal.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+# Fast-profile knobs (override on the command line as needed).
+SMOKE_INSTRUCTIONS ?= 1200
+SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
+SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads
+
+.PHONY: test smoke smoke-campaign bench-throughput
+
+## Full tier-1 suite (slow: full instruction budgets).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Fast end-to-end check: reduced budget, kernel subset.
+smoke:
+	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
+	REPRO_WORKLOADS=$(SMOKE_WORKLOADS) \
+	$(PYTHON) -m pytest -x -q $(SMOKE_TESTS)
+
+## The same profile through the CLI: one real campaign, printed.
+smoke-campaign:
+	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
+	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
+
+## Campaign throughput (jobs=1 vs jobs=N) as machine-readable JSON.
+bench-throughput:
+	$(PYTHON) benchmarks/bench_throughput.py

@@ -1,0 +1,124 @@
+"""Campaign throughput: the Figure 5 grid at jobs=1 vs jobs=N.
+
+Usable two ways:
+
+* ``python benchmarks/bench_throughput.py [--jobs N] [-n INSTR] [-w a,b]``
+  runs the full comparison and prints one machine-readable JSON object
+  (wall-clock, simulated instructions/sec, speedup) to stdout.
+* under pytest it asserts the parallel run reproduces the sequential
+  results exactly, on a reduced grid.
+
+Both paths bypass the result memo (``memo=False``) — this measures
+execution, not cache hits — but share traces the way any campaign does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.exec import default_jobs, run_jobs  # noqa: E402
+from repro.harness.experiment import (  # noqa: E402
+    MODELS,
+    ExperimentConfig,
+    selected_workloads,
+    suite_jobs,
+)
+
+
+def run_grid(jobs: int, config: ExperimentConfig, workloads) -> dict:
+    """One timed pass over the models x workloads grid.
+
+    Traces are generated (and cached) before the clock starts, so both
+    the sequential and the parallel pass time pure simulation — the
+    sequential side must not pay trace generation that the parallel
+    side then inherits through fork.
+    """
+    from repro.exec import TRACE_CACHE
+
+    specs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+    start = time.perf_counter()
+    results = run_jobs(specs, workers=jobs, memo=False)
+    wall = time.perf_counter() - start
+    simulated = sum(r.instructions for r in results)
+    return {
+        "jobs": jobs,
+        "simulations": len(specs),
+        "wall_clock_s": round(wall, 3),
+        "simulated_instructions": simulated,
+        "instructions_per_s": round(simulated / wall, 1),
+        "cycles": {f"{r.workload}/{r.model}": r.cycles for r in results},
+    }
+
+
+def campaign_throughput(parallel_jobs: int | None = None,
+                        config: ExperimentConfig | None = None,
+                        workloads=None) -> dict:
+    """jobs=1 vs jobs=N over the Figure 5 grid, with an equality check."""
+    config = config if config is not None else ExperimentConfig()
+    workloads = workloads if workloads is not None else selected_workloads()
+    parallel_jobs = (parallel_jobs if parallel_jobs is not None
+                     else max(2, default_jobs()))
+    sequential = run_grid(1, config, workloads)
+    parallel = run_grid(parallel_jobs, config, workloads)
+    report = {
+        "benchmark": "figure5_campaign_throughput",
+        "instructions_per_kernel": config.instructions,
+        "workloads": list(workloads),
+        "models": list(MODELS),
+        "cpu_count": os.cpu_count(),
+        "sequential": sequential,
+        "parallel": parallel,
+        "speedup": round(sequential["wall_clock_s"]
+                         / parallel["wall_clock_s"], 2),
+        "results_identical": sequential["cycles"] == parallel["cycles"],
+    }
+    for side in (sequential, parallel):
+        del side["cycles"]  # bulky; the equality verdict is what matters
+    return report
+
+
+def test_campaign_throughput(once):
+    """Benchmark-suite entry: reduced grid, full equality assertion."""
+    cfg = ExperimentConfig(instructions=min(ExperimentConfig().instructions,
+                                            1500))
+    workloads = selected_workloads()[:6]
+    report = once(lambda: campaign_throughput(config=cfg,
+                                              workloads=workloads))
+    print("\n" + json.dumps(report, indent=2))
+    assert report["results_identical"], "parallel run diverged from sequential"
+    assert report["parallel"]["simulated_instructions"] == \
+        report["sequential"]["simulated_instructions"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="parallel worker count (default REPRO_JOBS/CPUs)")
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="dynamic instructions per kernel")
+    parser.add_argument("-w", "--workloads", type=str, default=None,
+                        help="comma-separated kernel subset")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig()
+    if args.instructions is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, instructions=args.instructions)
+    workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
+                 if args.workloads else None)
+    report = campaign_throughput(args.jobs, config, workloads)
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

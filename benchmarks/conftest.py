@@ -9,6 +9,9 @@ Budgets come from the environment:
 
 * ``REPRO_INSTRUCTIONS`` — dynamic instructions per kernel (default 6000)
 * ``REPRO_WORKLOADS``    — comma-separated kernel subset
+* ``REPRO_JOBS``         — campaign worker processes (default: all CPUs);
+  campaigns run through :mod:`repro.exec`, so results are identical at
+  any worker count
 """
 
 import pytest

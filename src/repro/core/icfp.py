@@ -158,13 +158,16 @@ class ICFPCore(CoreModel):
                 self._progress = True
             if not self.features.mt_rally:
                 return  # tail blocked while a rally is in flight
-        while slots > 0 and self.fetch_queue:
-            entry = self.fetch_queue[0]
-            if entry.decode_ready > self.cycle:
+        fetch_queue = self.fetch_queue
+        cycle = self.cycle
+        try_issue = self.try_issue
+        while slots > 0 and fetch_queue:
+            entry = fetch_queue[0]
+            if entry.decode_ready > cycle:
                 break
-            if self.try_issue(entry) is not ISSUED:
+            if try_issue(entry) is not ISSUED:
                 break
-            self.fetch_queue.popleft()
+            fetch_queue.popleft()
             self._progress = True
             slots -= 1
 
@@ -201,14 +204,17 @@ class ICFPCore(CoreModel):
     def _head_wakeup(self, entry: FetchEntry) -> int:
         earliest = entry.decode_ready
         poison = self.main_rf.poison
+        reg_ready = self.reg_ready
+        normal = self.mode == NORMAL
         for src in entry.dyn.srcs:
             # Poisoned sources never wait on the scoreboard — the
             # instruction slices out instead.
-            if self.mode == NORMAL or not poison[src]:
-                earliest = max(earliest, self.reg_ready[src])
+            if (normal or not poison[src]) and reg_ready[src] > earliest:
+                earliest = reg_ready[src]
         dst = entry.dyn.dst
-        if self.mode == NORMAL and dst is not None and dst != ZERO_REG:
-            earliest = max(earliest, self.reg_ready[dst])
+        if (normal and dst is not None and dst != ZERO_REG
+                and reg_ready[dst] > earliest):
+            earliest = reg_ready[dst]
         return earliest
 
     # ==================================================================
@@ -227,15 +233,17 @@ class ICFPCore(CoreModel):
     def _try_issue_normal(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
         stalls = self.stats.stalls
+        cycle = self.cycle
+        reg_ready = self.reg_ready
         if not self.ports.available(dyn.opclass):
             stalls.port += 1
             return STALLED
         for src in dyn.srcs:
-            if self.reg_ready[src] > self.cycle:
+            if reg_ready[src] > cycle:
                 stalls.src_wait += 1
                 return STALLED
         dst = dyn.dst
-        if dst is not None and dst != ZERO_REG and self.reg_ready[dst] > self.cycle:
+        if dst is not None and dst != ZERO_REG and reg_ready[dst] > cycle:
             stalls.waw_wait += 1
             return STALLED
 
@@ -296,13 +304,15 @@ class ICFPCore(CoreModel):
         dyn = entry.dyn
         stalls = self.stats.stalls
         poison_of = self.main_rf.poison
+        reg_ready = self.reg_ready
+        cycle = self.cycle
         src_poison = 0
         for src in dyn.srcs:
             src_poison |= poison_of[src]
         # Non-poisoned inputs must be timing-ready (either to execute or
         # to be captured as slice side inputs).
         for src in dyn.srcs:
-            if not poison_of[src] and self.reg_ready[src] > self.cycle:
+            if not poison_of[src] and reg_ready[src] > cycle:
                 stalls.src_wait += 1
                 return STALLED
 

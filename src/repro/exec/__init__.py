@@ -1,0 +1,36 @@
+"""Campaign execution engine.
+
+Every figure, table, and sweep in the reproduction is a *campaign*: a
+grid of independent simulations (machine model x kernel x configuration).
+This package turns that grid into explicit :class:`SimJob` specs and
+executes them through one engine that
+
+* **fingerprints** each job deterministically (:mod:`.fingerprint`), so
+  identical simulations are recognised across sweeps and figures;
+* **memoizes** at two levels (:mod:`.cache`): functional traces by
+  ``(kernel, instructions)`` and :class:`~repro.engine.result.SimResult`
+  by job fingerprint — the in-order baseline of a sweep runs once, not
+  once per sweep value;
+* **parallelises** across a process pool (:mod:`.engine`), controlled by
+  ``REPRO_JOBS`` / ``--jobs`` with a sequential in-process fallback at
+  ``jobs=1``, and guarantees results identical to sequential execution
+  (simulations are deterministic functions of their job spec).
+"""
+
+from .cache import RESULT_CACHE, TRACE_CACHE, ResultCache, TraceCache
+from .engine import default_jobs, parallel_map, run_jobs
+from .fingerprint import canonical, fingerprint
+from .job import SimJob
+
+__all__ = [
+    "SimJob",
+    "run_jobs",
+    "parallel_map",
+    "default_jobs",
+    "fingerprint",
+    "canonical",
+    "TraceCache",
+    "ResultCache",
+    "TRACE_CACHE",
+    "RESULT_CACHE",
+]

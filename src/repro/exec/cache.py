@@ -1,0 +1,103 @@
+"""The engine's two memoization levels.
+
+:class:`TraceCache`
+    Functional traces keyed by ``(kernel, instructions)``.  Trace
+    generation is deterministic (seeded kernels, functional execution),
+    so one trace serves every model, sweep value, and figure that asks
+    for the same kernel at the same budget.  Repeated requests return
+    the *identical* object — timing models never mutate traces.
+
+:class:`ResultCache`
+    :class:`~repro.engine.result.SimResult` keyed by job fingerprint.
+    A simulation is a pure function of its :class:`~repro.exec.job.SimJob`
+    spec, so a memo hit is indistinguishable from a re-run.  This is what
+    stops sweeps and figures from re-simulating the in-order baseline
+    for every sweep value.
+
+Both caches are in-process.  Worker processes forked by the pool inherit
+the parent's entries and populate their own copies; results flow back to
+the parent's :data:`RESULT_CACHE` when the pool collects them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class TraceCache:
+    """Bounded LRU of functional traces keyed by (kernel, instructions)."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, instructions: int):
+        """The trace for ``name`` at ``instructions``, built on miss."""
+        key = (name, instructions)
+        trace = self._entries.get(key)
+        if trace is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return trace
+        self.misses += 1
+        # Local import: workloads.suite routes trace_by_name through this
+        # module, so a top-level import would be circular.
+        from ..workloads.suite import build_kernel, trace_kernel
+
+        trace = trace_kernel(build_kernel(name), instructions=instructions)
+        self._entries[key] = trace
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class ResultCache:
+    """Unbounded memo of SimResults keyed by job fingerprint.
+
+    Unbounded is deliberate: a full campaign is a few hundred results of
+    a few hundred bytes of counters each, and cross-figure reuse (every
+    figure shares the Figure 5 baseline) is the point.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        result = self._entries.get(key)
+        if result is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide instances.  Tests that count simulator invocations call
+#: ``clear()`` on both first.
+TRACE_CACHE = TraceCache()
+RESULT_CACHE = ResultCache()

@@ -1,0 +1,137 @@
+"""The campaign scheduler: memoize, dedupe, fan out, reassemble.
+
+``run_jobs`` is the one entry point the harness uses.  It guarantees
+results identical to sequential execution: a simulation is a
+deterministic function of its :class:`~repro.exec.job.SimJob` spec, so
+where the result is computed (this process, a pooled worker, or an
+earlier call via the memo) cannot change it.
+
+Worker count resolution, everywhere in the engine:
+
+1. explicit ``workers=`` argument,
+2. ``REPRO_JOBS`` environment variable (the CLI's ``--jobs`` sets it),
+3. ``os.cpu_count()``.
+
+``jobs=1`` (however it was resolved) runs sequentially in-process — no
+pool, no pickling, no forked interpreters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from .cache import RESULT_CACHE
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def _worker_init() -> None:
+    """Pool workers run their own jobs sequentially (no nested pools)."""
+    os.environ["REPRO_JOBS"] = "1"
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    # Prefer fork: workers inherit imported modules *and* the parent's
+    # warm trace cache, so they never re-execute kernels the parent
+    # already traced.  (Spawn platforms still work — jobs re-derive
+    # everything from their picklable specs.)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
+                               initializer=_worker_init)
+
+
+def _run_job(job):
+    """Module-level trampoline so the pool can pickle it."""
+    return job.run()
+
+
+def _prewarm_traces(jobs) -> None:
+    """Generate each distinct trace once, in the parent, before forking.
+
+    Chunking splits one workload's jobs across workers; without this,
+    every such worker would re-run the functional executor for the same
+    kernel.  Warming the parent's trace cache first means fork hands
+    every worker the already-built trace — trace generation stays
+    exactly-once per (workload, instructions) across the whole campaign.
+    """
+    from .cache import TRACE_CACHE
+
+    for key in {(job.workload, job.config.instructions) for job in jobs}:
+        TRACE_CACHE.get(*key)
+
+
+def _pool_map(fn, items: list, workers: int) -> list:
+    chunksize = max(1, len(items) // (workers * 4))
+    with _pool(workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def run_jobs(jobs, *, workers: int | None = None, memo: bool = True) -> list:
+    """Execute ``jobs`` (SimJobs); results in input order.
+
+    Fingerprint-identical jobs execute once, whether the duplicate is in
+    this batch or already in the :data:`~repro.exec.cache.RESULT_CACHE`
+    from an earlier campaign.  ``memo=False`` bypasses the cross-call
+    memo entirely (benchmarks measuring raw throughput use it) but still
+    dedupes within the batch.
+    """
+    jobs = list(jobs)
+    workers = workers if workers is not None else default_jobs()
+    results: list = [None] * len(jobs)
+    positions: dict[str, list[int]] = {}
+    fresh: list = []
+    for i, job in enumerate(jobs):
+        key = job.fingerprint
+        if memo:
+            cached = RESULT_CACHE.get(key)
+            if cached is not None:
+                results[i] = cached
+                continue
+        if key in positions:
+            positions[key].append(i)
+        else:
+            positions[key] = [i]
+            fresh.append(job)
+    if fresh:
+        if workers > 1 and len(fresh) > 1:
+            _prewarm_traces(fresh)
+            computed = _pool_map(_run_job, fresh, min(workers, len(fresh)))
+        else:
+            computed = [job.run() for job in fresh]
+        for job, result in zip(fresh, computed):
+            key = job.fingerprint
+            if memo:
+                RESULT_CACHE.put(key, result)
+            for i in positions[key]:
+                results[i] = result
+    return results
+
+
+def parallel_map(fn, items, *, workers: int | None = None) -> list:
+    """Ordered ``map(fn, items)``, pooled when workers > 1.
+
+    For campaign pieces that are not plain SimJobs (the Figure 1
+    scenario micro-programs, for instance).  ``fn`` must be a
+    module-level callable and ``items`` picklable; there is no memo.
+    """
+    items = list(items)
+    workers = workers if workers is not None else default_jobs()
+    if workers > 1 and len(items) > 1:
+        return _pool_map(fn, items, min(workers, len(items)))
+    return [fn(item) for item in items]

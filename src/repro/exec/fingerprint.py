@@ -1,0 +1,57 @@
+"""Deterministic configuration fingerprints.
+
+A fingerprint is a sha256 digest of a *canonical form*: dataclasses
+flatten to ``(qualname, (field, value), ...)`` tuples, mappings sort by
+key, and only primitives survive.  No ``hash()`` anywhere — Python's
+string hashing is salted per process (``PYTHONHASHSEED``), and these
+digests must agree between the scheduler and its worker processes.
+
+Distinct configurations get distinct digests because the canonical form
+embeds every field name and the class qualname: two configs collide only
+if they are field-for-field equal (or sha256 itself collides).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from enum import Enum
+
+_PRIMITIVES = (str, int, float, bool, bytes, type(None))
+
+
+def canonical(obj):
+    """Reduce ``obj`` to a deterministic, repr-stable structure.
+
+    Supports primitives, enums, lists/tuples, sets, dicts, and
+    dataclasses (recursively) — which covers ``ExperimentConfig``,
+    ``ICFPFeatures``, ``MachineConfig``, and anything they nest.
+    """
+    if isinstance(obj, bool) or isinstance(obj, _PRIMITIVES):
+        return obj
+    if isinstance(obj, Enum):
+        return (type(obj).__qualname__, obj.name)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__qualname__,
+            tuple((f.name, canonical(getattr(obj, f.name)))
+                  for f in fields(obj)),
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(canonical(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted((repr(canonical(item)) for item in obj)))
+    if isinstance(obj, dict):
+        return tuple(sorted(
+            (repr(canonical(k)), canonical(v)) for k, v in obj.items()
+        ))
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__qualname__!r}: not a dataclass, "
+        "primitive, enum, or container of those"
+    )
+
+
+def fingerprint(*parts) -> str:
+    """sha256 hex digest of the canonical form of ``parts``."""
+    payload = repr(tuple(canonical(p) for p in parts))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,40 @@
+"""Picklable simulation-job specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from .cache import TRACE_CACHE
+from .fingerprint import fingerprint
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation: a machine model on a kernel under a config.
+
+    The spec is tiny and picklable — the trace is *not* carried along;
+    executors regenerate it (deterministically, via the trace cache) on
+    whichever process runs the job.  ``config`` is an
+    :class:`~repro.harness.experiment.ExperimentConfig`; its
+    ``instructions`` budget names the trace, and the rest (machine
+    config, feature flags, advance triggers) names the timing model.
+    """
+
+    model: str
+    workload: str
+    config: object
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Deterministic identity: equal fingerprints, equal results."""
+        return fingerprint(self.model, self.workload, self.config)
+
+    def run(self):
+        """Execute the simulation (no memo — the engine layers that)."""
+        # Local import: harness.experiment drives its campaigns through
+        # this package, so a top-level import would be circular.
+        from ..harness.experiment import make_core
+
+        trace = TRACE_CACHE.get(self.workload, self.config.instructions)
+        return make_core(self.model, trace, self.config).run()

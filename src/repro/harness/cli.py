@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 
 from ..workloads import ALL_KERNELS
@@ -48,9 +49,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="L2 hit latency in cycles (Table 1: 20)")
     parser.add_argument("--cold", action="store_true",
                         help="skip the cache warm-up phase")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="simulation worker processes (default: "
+                             "REPRO_JOBS, then all CPUs; 1 = sequential)")
+
+
+def _apply_jobs(args) -> None:
+    if getattr(args, "jobs", None) is not None:
+        # Threads the worker count through every campaign this process
+        # runs — the engine reads REPRO_JOBS wherever jobs= isn't passed.
+        os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
 
 
 def _config(args) -> ExperimentConfig:
+    _apply_jobs(args)
     config = ExperimentConfig(l2_hit_latency=args.l2_latency,
                               warm=not args.cold)
     if args.instructions is not None:
@@ -114,6 +126,7 @@ def cmd_table2(args) -> None:
 
 
 def cmd_scenarios(args) -> None:
+    _apply_jobs(args)
     results = run_all_scenarios()
     print(f"{'scenario':10s} " + " ".join(f"{m:>10s}" for m in MODELS))
     for key, cycles in results.items():

@@ -7,6 +7,11 @@ and iCFP under everything.  The instruction budget per kernel (the
 stand-in for the paper's sampled windows) is controlled by
 ``REPRO_INSTRUCTIONS`` (default 6 000); ``REPRO_WORKLOADS`` narrows the
 suite (comma-separated kernel names) for quick runs.
+
+Campaigns (``run_workload``/``run_suite``) execute through the
+:mod:`repro.exec` engine: the model x workload grid becomes a batch of
+:class:`~repro.exec.job.SimJob` specs that the engine memoizes by
+config fingerprint and fans out across ``REPRO_JOBS`` processes.
 """
 
 from __future__ import annotations
@@ -19,9 +24,10 @@ from dataclasses import dataclass, field
 from ..baselines import InOrderCore, MultipassCore, RunaheadCore, SLTPCore
 from ..core.icfp import ICFPCore, ICFPFeatures
 from ..engine.result import SimResult
+from ..exec import SimJob, run_jobs
 from ..functional.trace import Trace
 from ..pipeline.config import MachineConfig
-from ..workloads import ALL_KERNELS, SPECFP, SPECINT, trace_by_name
+from ..workloads import ALL_KERNELS, SPECFP, SPECINT
 
 #: Paper model names in presentation order (Figure 5).
 MODELS = ("in-order", "runahead", "multipass", "sltp", "icfp")
@@ -86,21 +92,39 @@ def run_model(model: str, trace: Trace, config: ExperimentConfig) -> SimResult:
     return make_core(model, trace, config).run()
 
 
-def run_workload(workload: str, models=MODELS,
-                 config: ExperimentConfig | None = None) -> dict[str, SimResult]:
-    """Run several models over one kernel (one shared trace)."""
+def suite_jobs(models=MODELS, workloads=None,
+               config: ExperimentConfig | None = None) -> list[SimJob]:
+    """The models x workloads grid as engine job specs."""
     config = config if config is not None else ExperimentConfig()
-    trace = trace_by_name(workload, instructions=config.instructions)
-    return {model: run_model(model, trace, config) for model in models}
+    workloads = workloads if workloads is not None else selected_workloads()
+    return [SimJob(model, workload, config)
+            for workload in workloads for model in models]
+
+
+def run_workload(workload: str, models=MODELS,
+                 config: ExperimentConfig | None = None,
+                 jobs: int | None = None) -> dict[str, SimResult]:
+    """Run several models over one kernel (one shared, cached trace)."""
+    results = run_suite(models, (workload,), config, jobs=jobs)
+    return results[workload]
 
 
 def run_suite(models=MODELS, workloads=None,
-              config: ExperimentConfig | None = None
-              ) -> dict[str, dict[str, SimResult]]:
-    """Run ``models`` x ``workloads``; returns results[workload][model]."""
-    config = config if config is not None else ExperimentConfig()
-    workloads = workloads if workloads is not None else selected_workloads()
-    return {w: run_workload(w, models, config) for w in workloads}
+              config: ExperimentConfig | None = None,
+              jobs: int | None = None) -> dict[str, dict[str, SimResult]]:
+    """Run ``models`` x ``workloads``; returns results[workload][model].
+
+    The grid goes through the campaign engine: previously-computed
+    (model, workload, config) cells come from the result memo, the rest
+    fan out over ``jobs`` worker processes (default ``REPRO_JOBS``, then
+    ``os.cpu_count()``; 1 = sequential in-process).
+    """
+    specs = suite_jobs(models, workloads, config)
+    results = run_jobs(specs, workers=jobs)
+    table: dict[str, dict[str, SimResult]] = {}
+    for spec, result in zip(specs, results):
+        table.setdefault(spec.workload, {})[spec.model] = result
+    return table
 
 
 # ----------------------------------------------------------------------

@@ -11,9 +11,11 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..core.icfp import ICFPFeatures
+from ..exec import SimJob, run_jobs
 from .experiment import (
     MODELS,
     ExperimentConfig,
+    geomean,
     group_geomeans,
     run_suite,
     selected_workloads,
@@ -99,25 +101,44 @@ def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
     """
     base = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
-    from .experiment import geomean, run_suite  # local: avoid cycles
 
-    reference = run_suite(("in-order",), workloads,
-                          dataclasses.replace(base, l2_hit_latency=20))
-    ref_cycles = {w: reference[w]["in-order"].cycles for w in workloads}
+    # One batched campaign: the 20-cycle reference baseline plus every
+    # (latency, configuration) cell.  The engine dedupes the overlap
+    # (the latency-20 in-order jobs ARE the reference jobs) and fans the
+    # rest out in parallel.
+    cells: list[tuple[str, int, str]] = []  # (label, latency, model)
+    grid: list[SimJob] = []
+    reference_cfg = dataclasses.replace(base, l2_hit_latency=20)
+    for w in workloads:
+        grid.append(SimJob("in-order", w, reference_cfg))
+        cells.append(("__reference__", 20, "in-order"))
+    for latency in latencies:
+        swept = dataclasses.replace(base, l2_hit_latency=latency)
+        for w in workloads:
+            grid.append(SimJob("in-order", w, swept))
+            cells.append(("in-order", latency, "in-order"))
+        for label, model, overrides in FIGURE6_CONFIGS:
+            cfg = dataclasses.replace(swept, **overrides)
+            for w in workloads:
+                grid.append(SimJob(model, w, cfg))
+                cells.append((label, latency, model))
+    results = run_jobs(grid)
+
+    ref_cycles: dict[str, int] = {}
+    cycles: dict[tuple[str, int], dict[str, int]] = {}
+    for spec, cell, result in zip(grid, cells, results):
+        label, latency, _ = cell
+        if label == "__reference__":
+            ref_cycles[spec.workload] = result.cycles
+        else:
+            cycles.setdefault((label, latency), {})[spec.workload] = result.cycles
 
     percent: dict[str, dict[int, float]] = {"in-order": {}}
     for label, _, _ in FIGURE6_CONFIGS:
         percent[label] = {}
-    for latency in latencies:
-        swept = dataclasses.replace(base, l2_hit_latency=latency)
-        io = run_suite(("in-order",), workloads, swept)
-        ratios = [ref_cycles[w] / io[w]["in-order"].cycles for w in workloads]
-        percent["in-order"][latency] = (geomean(ratios) - 1.0) * 100.0
-        for label, model, overrides in FIGURE6_CONFIGS:
-            cfg = dataclasses.replace(swept, **overrides)
-            runs = run_suite((model,), workloads, cfg)
-            ratios = [ref_cycles[w] / runs[w][model].cycles for w in workloads]
-            percent[label][latency] = (geomean(ratios) - 1.0) * 100.0
+    for (label, latency), per_workload in cycles.items():
+        ratios = [ref_cycles[w] / per_workload[w] for w in workloads]
+        percent[label][latency] = (geomean(ratios) - 1.0) * 100.0
     group = workloads[0] if len(workloads) == 1 else "geomean"
     return Figure6(list(latencies), percent, group)
 
@@ -171,19 +192,20 @@ class Figure7:
 def figure7(config: ExperimentConfig | None = None,
             workloads=FIGURE7_WORKLOADS) -> Figure7:
     base = config if config is not None else ExperimentConfig()
-    from .experiment import geomean, run_suite
 
-    io = run_suite(("in-order",), workloads, base)
-    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
-    percent: dict[str, dict[str, float]] = {}
-    for label, model, overrides in FIGURE7_BARS:
+    # One campaign: the shared in-order baseline plus all five bars.
+    grid = [SimJob("in-order", w, base) for w in workloads]
+    for _, model, overrides in FIGURE7_BARS:
         cfg = dataclasses.replace(base, **overrides)
-        runs = run_suite((model,), workloads, cfg)
-        per = {w: (io_cycles[w] / runs[w][model].cycles - 1.0) * 100.0
-               for w in workloads}
-        per["gmean"] = (geomean(
-            [io_cycles[w] / runs[w][model].cycles for w in workloads]
-        ) - 1.0) * 100.0
+        grid.extend(SimJob(model, w, cfg) for w in workloads)
+    results = iter(run_jobs(grid))
+
+    io_cycles = {w: next(results).cycles for w in workloads}
+    percent: dict[str, dict[str, float]] = {}
+    for label, _, _ in FIGURE7_BARS:
+        ratios = {w: io_cycles[w] / next(results).cycles for w in workloads}
+        per = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
+        per["gmean"] = (geomean(ratios.values()) - 1.0) * 100.0
         percent[label] = per
     return Figure7(list(workloads), [b[0] for b in FIGURE7_BARS], percent)
 
@@ -223,25 +245,25 @@ class Figure8:
 def figure8(config: ExperimentConfig | None = None,
             workloads=FIGURE8_WORKLOADS) -> Figure8:
     base = config if config is not None else ExperimentConfig()
-    from .experiment import geomean, run_suite
 
-    io = run_suite(("in-order",), workloads, base)
-    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
+    grid = [SimJob("in-order", w, base) for w in workloads]
+    for _, kind in FIGURE8_KINDS:
+        feats = ICFPFeatures(store_buffer_kind=kind)
+        cfg = dataclasses.replace(base, icfp_features=feats)
+        grid.extend(SimJob("icfp", w, cfg) for w in workloads)
+    results = iter(run_jobs(grid))
+
+    io_cycles = {w: next(results).cycles for w in workloads}
     percent: dict[str, dict[str, float]] = {}
     hops: dict[str, float] = {}
     for label, kind in FIGURE8_KINDS:
-        feats = ICFPFeatures(store_buffer_kind=kind)
-        cfg = dataclasses.replace(base, icfp_features=feats)
-        runs = run_suite(("icfp",), workloads, cfg)
-        per = {w: (io_cycles[w] / runs[w]["icfp"].cycles - 1.0) * 100.0
-               for w in workloads}
-        per["gmean"] = (geomean(
-            [io_cycles[w] / runs[w]["icfp"].cycles for w in workloads]
-        ) - 1.0) * 100.0
+        runs = {w: next(results) for w in workloads}
+        ratios = {w: io_cycles[w] / runs[w].cycles for w in workloads}
+        per = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
+        per["gmean"] = (geomean(ratios.values()) - 1.0) * 100.0
         percent[label] = per
         if kind == "chained":
-            hops = {w: runs[w]["icfp"].stats.hops_per_load()
-                    for w in workloads}
+            hops = {w: runs[w].stats.hops_per_load() for w in workloads}
     return Figure8(list(workloads), [k[0] for k in FIGURE8_KINDS],
                    percent, hops)
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import parallel_map
 from ..isa.assembler import Assembler
 from ..isa.program import Program
 from ..isa.registers import R
@@ -181,7 +182,21 @@ def run_scenario(scenario: Scenario, models=MODELS,
     return cycles
 
 
-def run_all_scenarios(models=MODELS) -> dict[str, dict[str, int]]:
-    """Cycles for every Figure 1 scenario: results[key][model]."""
-    return {key: run_scenario(builder(), models)
-            for key, builder in SCENARIOS.items()}
+def _scenario_cell(item: tuple[str, tuple[str, ...]]) -> dict[str, int]:
+    """Pool-friendly worker: rebuild the scenario by key and run it."""
+    key, models = item
+    return run_scenario(SCENARIOS[key](), models)
+
+
+def run_all_scenarios(models=MODELS,
+                      jobs: int | None = None) -> dict[str, dict[str, int]]:
+    """Cycles for every Figure 1 scenario: results[key][model].
+
+    Scenarios are independent micro-programs, so they fan out across the
+    engine's worker pool like any other campaign.
+    """
+    keys = list(SCENARIOS)
+    cells = parallel_map(_scenario_cell,
+                         [(key, tuple(models)) for key in keys],
+                         workers=jobs)
+    return dict(zip(keys, cells))

@@ -12,7 +12,8 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..core.icfp import ICFPFeatures
-from .experiment import ExperimentConfig, geomean, run_suite, selected_workloads
+from ..exec import SimJob, run_jobs
+from .experiment import ExperimentConfig, geomean, selected_workloads
 
 
 @dataclass
@@ -34,16 +35,25 @@ class SweepResult:
 
 
 def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult:
+    """One batched campaign over the whole sweep.
+
+    The in-order baseline appears *once* per workload in the job grid —
+    it is independent of the swept iCFP feature, so rebuilding it per
+    value (as the naive nested-loop formulation does) is pure waste.
+    Each workload's trace is likewise generated once, shared by the
+    baseline and every sweep value through the engine's trace cache.
+    """
     base = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
-    io = run_suite(("in-order",), workloads, base)
-    io_cycles = {w: io[w]["in-order"].cycles for w in workloads}
-    ratios = {}
+    grid = [SimJob("in-order", w, base) for w in workloads]
     for value in values:
         cfg = dataclasses.replace(base, icfp_features=feature_of(value))
-        runs = run_suite(("icfp",), workloads, cfg)
-        ratios[value] = {w: io_cycles[w] / runs[w]["icfp"].cycles
-                         for w in workloads}
+        grid.extend(SimJob("icfp", w, cfg) for w in workloads)
+    results = iter(run_jobs(grid))
+    io_cycles = {w: next(results).cycles for w in workloads}
+    ratios = {value: {w: io_cycles[w] / next(results).cycles
+                      for w in workloads}
+              for value in values}
     return SweepResult(parameter, list(values), ratios)
 
 

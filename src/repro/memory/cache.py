@@ -8,6 +8,7 @@ are composed by :class:`~repro.memory.hierarchy.MemoryHierarchy`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class CacheConfig:
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(f"{self.name}: set count must be a power of two")
 
-    @property
+    @cached_property
     def num_sets(self) -> int:
         return self.size_bytes // (self.assoc * self.line_bytes)
 
@@ -49,13 +50,16 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._sets: list[list[list]] = [[] for _ in range(config.num_sets)]
+        #: Set-index mask, pre-computed: set selection is on the lookup
+        #: fast path of every model, every cycle.
+        self._set_mask = config.num_sets - 1
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
     def lookup(self, line_addr: int, update_lru: bool = True) -> bool:
         """True if ``line_addr`` is present; promotes it to MRU on a hit."""
-        way_list = self._sets[self.config.set_index(line_addr)]
+        way_list = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(way_list):
             if entry[0] == line_addr:
                 if update_lru and i:
@@ -67,7 +71,7 @@ class Cache:
 
     def probe(self, line_addr: int) -> bool:
         """Presence check with no LRU or statistics side effects."""
-        way_list = self._sets[self.config.set_index(line_addr)]
+        way_list = self._sets[line_addr & self._set_mask]
         return any(entry[0] == line_addr for entry in way_list)
 
     def insert(self, line_addr: int, dirty: bool = False):
@@ -77,7 +81,7 @@ class Cache:
         required, else ``None``.  Re-inserting a present line refreshes
         its LRU position and ORs in ``dirty``.
         """
-        way_list = self._sets[self.config.set_index(line_addr)]
+        way_list = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(way_list):
             if entry[0] == line_addr:
                 entry[1] = entry[1] or dirty
@@ -92,7 +96,7 @@ class Cache:
 
     def mark_dirty(self, line_addr: int) -> bool:
         """Set the dirty bit of a present line; True if the line was found."""
-        way_list = self._sets[self.config.set_index(line_addr)]
+        way_list = self._sets[line_addr & self._set_mask]
         for entry in way_list:
             if entry[0] == line_addr:
                 entry[1] = True
@@ -101,7 +105,7 @@ class Cache:
 
     def invalidate(self, line_addr: int) -> bool:
         """Remove a line (SLTP flushes speculatively-written lines this way)."""
-        way_list = self._sets[self.config.set_index(line_addr)]
+        way_list = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(way_list):
             if entry[0] == line_addr:
                 way_list.pop(i)
@@ -110,3 +114,14 @@ class Cache:
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
+
+    # ------------------------------------------------------------------
+    # tag-store snapshots (warm-state reuse across same-config cores)
+    # ------------------------------------------------------------------
+    def export_sets(self) -> list[list[list]]:
+        """A deep copy of the tag store (lines + dirty bits + LRU order)."""
+        return [[entry.copy() for entry in way_list] for way_list in self._sets]
+
+    def load_sets(self, sets: list[list[list]]) -> None:
+        """Replace the tag store with a deep copy of ``sets``."""
+        self._sets = [[entry.copy() for entry in way_list] for way_list in sets]

@@ -78,6 +78,8 @@ class MSHRFile:
 
     def retire_complete(self, cycle: int) -> list[MSHR]:
         """Remove and return all MSHRs whose fills completed by ``cycle``."""
+        if not self._pending:  # every-cycle fast path
+            return []
         done = [m for m in self._pending.values() if m.ready_cycle <= cycle]
         for mshr in done:
             del self._pending[mshr.line_addr]
@@ -85,6 +87,16 @@ class MSHRFile:
 
     def pending(self) -> list[MSHR]:
         return list(self._pending.values())
+
+    def next_ready_cycle(self) -> int | None:
+        """Earliest pending fill time (idle-skip wake-up), or None.
+
+        Unlike ``pending()`` this allocates no list — it sits on the
+        every-idle-cycle path of the core models.
+        """
+        if not self._pending:
+            return None
+        return min(m.ready_cycle for m in self._pending.values())
 
     def outstanding_demand(self, cycle: int) -> int:
         """Number of demand fills still in flight at ``cycle``."""

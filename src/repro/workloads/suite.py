@@ -192,4 +192,14 @@ def trace_kernel(kernel: Kernel, instructions: int = 20_000) -> Trace:
 
 
 def trace_by_name(name: str, instructions: int = 20_000) -> Trace:
-    return trace_kernel(build_kernel(name), instructions=instructions)
+    """The (cached) trace for a suite kernel.
+
+    Trace generation is deterministic, so repeated requests for the same
+    ``(name, instructions)`` return the identical trace object from
+    :data:`repro.exec.cache.TRACE_CACHE` instead of re-running the
+    functional executor.  Timing models replay traces without mutating
+    them, which is what makes the sharing safe.
+    """
+    from ..exec.cache import TRACE_CACHE  # local: cache builds via this module
+
+    return TRACE_CACHE.get(name, instructions)

@@ -1,0 +1,73 @@
+"""Engine scheduling: parallel == sequential, knob resolution."""
+
+import pickle
+
+import pytest
+
+from repro.exec import RESULT_CACHE, SimJob, default_jobs, parallel_map, run_jobs
+from repro.harness.experiment import ExperimentConfig, run_suite
+
+WORKLOADS = ("mesa_like", "crafty_like", "gzip_like")
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _stats_bytes(result):
+    return pickle.dumps((result.model, result.workload, result.stats))
+
+
+def test_parallel_results_equal_sequential_exactly():
+    """The acceptance property: fan-out must be invisible in the data."""
+    cfg = ExperimentConfig(instructions=400)
+    RESULT_CACHE.clear()
+    sequential = run_suite(workloads=WORKLOADS, config=cfg, jobs=1)
+    RESULT_CACHE.clear()
+    parallel = run_suite(workloads=WORKLOADS, config=cfg, jobs=2)
+    assert list(sequential) == list(parallel)
+    for workload in sequential:
+        assert list(sequential[workload]) == list(parallel[workload])
+        for model in sequential[workload]:
+            seq, par = sequential[workload][model], parallel[workload][model]
+            assert seq.cycles == par.cycles
+            assert seq.instructions == par.instructions
+            assert _stats_bytes(seq) == _stats_bytes(par), (workload, model)
+
+
+def test_run_jobs_preserves_input_order():
+    cfg = ExperimentConfig(instructions=300)
+    jobs = [SimJob(m, w, cfg)
+            for w in ("crafty_like", "mesa_like")
+            for m in ("icfp", "in-order")]
+    results = run_jobs(jobs, workers=1)
+    assert [(r.model, r.workload) for r in results] == \
+        [(j.model, j.workload) for j in jobs]
+
+
+def test_simjob_roundtrips_through_pickle():
+    job = SimJob("icfp", "mcf_like", ExperimentConfig(instructions=500))
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone == job
+    assert clone.fingerprint == job.fingerprint
+
+
+def test_default_jobs_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1  # clamped
+    monkeypatch.delenv("REPRO_JOBS")
+    assert default_jobs() >= 1
+
+
+def test_worker_exceptions_propagate():
+    cfg = ExperimentConfig(instructions=300)
+    with pytest.raises(KeyError):
+        run_jobs([SimJob("in-order", "doom_like", cfg)], workers=1)
+
+
+def test_parallel_map_matches_sequential_map():
+    items = list(range(7))
+    assert parallel_map(_square, items, workers=1) == [x * x for x in items]
+    assert parallel_map(_square, items, workers=2) == [x * x for x in items]

@@ -1,0 +1,63 @@
+"""Trace- and result-cache semantics."""
+
+from repro.exec import RESULT_CACHE, TRACE_CACHE, SimJob, TraceCache, run_jobs
+from repro.harness.experiment import ExperimentConfig
+from repro.workloads import trace_by_name
+
+
+def test_trace_cache_returns_identical_object():
+    TRACE_CACHE.clear()
+    first = trace_by_name("mesa_like", 300)
+    second = trace_by_name("mesa_like", 300)
+    assert second is first
+    assert TRACE_CACHE.hits == 1 and TRACE_CACHE.misses == 1
+
+
+def test_trace_cache_keys_on_name_and_budget():
+    TRACE_CACHE.clear()
+    a = trace_by_name("mesa_like", 300)
+    b = trace_by_name("mesa_like", 400)
+    c = trace_by_name("crafty_like", 300)
+    assert len({id(a), id(b), id(c)}) == 3
+    assert len(a) == 300 and len(b) == 400
+    assert TRACE_CACHE.misses == 3
+
+
+def test_trace_cache_lru_bound():
+    cache = TraceCache(maxsize=2)
+    cache.get("mesa_like", 100)
+    cache.get("mesa_like", 120)
+    cache.get("mesa_like", 140)  # evicts (mesa_like, 100)
+    assert len(cache) == 2
+    before = cache.misses
+    cache.get("mesa_like", 100)
+    assert cache.misses == before + 1  # rebuilt after eviction
+
+
+def test_result_cache_memoizes_repeat_jobs():
+    RESULT_CACHE.clear()
+    job = SimJob("in-order", "mesa_like", ExperimentConfig(instructions=300))
+    first, = run_jobs([job], workers=1)
+    again, = run_jobs([job], workers=1)
+    assert again is first
+    assert RESULT_CACHE.hits == 1
+
+
+def test_result_cache_dedupes_within_one_batch():
+    RESULT_CACHE.clear()
+    cfg = ExperimentConfig(instructions=300)
+    job = SimJob("in-order", "mesa_like", cfg)
+    twin = SimJob("in-order", "mesa_like", ExperimentConfig(instructions=300))
+    a, b = run_jobs([job, twin], workers=1)
+    assert a is b
+    assert len(RESULT_CACHE) == 1
+
+
+def test_memo_false_bypasses_cross_call_cache():
+    RESULT_CACHE.clear()
+    job = SimJob("in-order", "mesa_like", ExperimentConfig(instructions=300))
+    first, = run_jobs([job], workers=1, memo=False)
+    second, = run_jobs([job], workers=1, memo=False)
+    assert first is not second
+    assert first.cycles == second.cycles
+    assert len(RESULT_CACHE) == 0

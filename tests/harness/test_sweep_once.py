@@ -1,0 +1,64 @@
+"""The sweeps must not repeat work: one in-order baseline and one trace
+generation per workload, no matter how many sweep values run."""
+
+import pytest
+
+from repro.baselines.inorder import InOrderCore
+from repro.exec import RESULT_CACHE, TRACE_CACHE
+from repro.functional.executor import FunctionalExecutor
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import chain_table_sweep, poison_bits_sweep
+
+WORKLOADS = ("mesa_like", "crafty_like")
+
+
+@pytest.fixture
+def counters(monkeypatch):
+    """Count in-order simulations and functional executions by workload."""
+    counts = {"inorder": [], "trace": 0}
+
+    real_run = InOrderCore.run
+
+    def counting_run(self):
+        counts["inorder"].append(self.trace.program.name)
+        return real_run(self)
+
+    real_exec = FunctionalExecutor.run
+
+    def counting_exec(self, *args, **kwargs):
+        counts["trace"] += 1
+        return real_exec(self, *args, **kwargs)
+
+    monkeypatch.setattr(InOrderCore, "run", counting_run)
+    monkeypatch.setattr(FunctionalExecutor, "run", counting_exec)
+    # Both caches start cold, and everything stays in this process so
+    # the monkeypatched counters observe every simulation.
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    TRACE_CACHE.clear()
+    RESULT_CACHE.clear()
+    return counts
+
+
+def test_chain_table_sweep_runs_baseline_once_per_workload(counters):
+    chain_table_sweep(sizes=(64, 128, 512), workloads=WORKLOADS,
+                      config=ExperimentConfig(instructions=300))
+    assert sorted(counters["inorder"]) == sorted(WORKLOADS)
+    assert counters["trace"] == len(WORKLOADS)
+
+
+def test_poison_bits_sweep_runs_baseline_once_per_workload(counters):
+    poison_bits_sweep(widths=(1, 2, 4, 8), workloads=WORKLOADS,
+                      config=ExperimentConfig(instructions=300))
+    assert sorted(counters["inorder"]) == sorted(WORKLOADS)
+    assert counters["trace"] == len(WORKLOADS)
+
+
+def test_back_to_back_sweeps_share_the_memo(counters):
+    cfg = ExperimentConfig(instructions=300)
+    chain_table_sweep(sizes=(64, 512), workloads=WORKLOADS, config=cfg)
+    baseline_runs = len(counters["inorder"])
+    traces = counters["trace"]
+    # The second sweep's baseline (and traces) come from the caches.
+    poison_bits_sweep(widths=(1, 8), workloads=WORKLOADS, config=cfg)
+    assert len(counters["inorder"]) == baseline_runs
+    assert counters["trace"] == traces
