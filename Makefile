@@ -13,13 +13,18 @@ SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
 SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads
 
-.PHONY: test smoke smoke-campaign bench-throughput
+.PHONY: test smoke smoke-campaign bench bench-throughput
 
-## Full tier-1 suite (slow: full instruction budgets).
-test:
+## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
+## profile — which includes the golden cycle/stats fixtures in
+## tests/engine — runs first so engine-equivalence breaks fail in
+## seconds, not after the long campaign tests.
+test: smoke
 	$(PYTHON) -m pytest -x -q
 
-## Fast end-to-end check: reduced budget, kernel subset.
+## Fast end-to-end check: reduced budget, kernel subset.  Includes the
+## golden-fixture regression tests (tests/engine/test_golden_regression.py),
+## which always simulate at their own pinned budget.
 smoke:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	REPRO_WORKLOADS=$(SMOKE_WORKLOADS) \
@@ -30,6 +35,13 @@ smoke-campaign:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
 
-## Campaign throughput (jobs=1 vs jobs=N) as machine-readable JSON.
+## Campaign throughput (jobs=1 vs jobs=N) as machine-readable JSON,
+## plus the compact trend record (commit, jobs, grid, sims/sec).
+## BENCH_throughput.json at the repo root is the checked-in baseline;
+## compare a fresh run against it to see the bench trajectory.
+bench:
+	$(PYTHON) benchmarks/bench_throughput.py --output BENCH_throughput.json
+
+## Full throughput report only (no trend record).
 bench-throughput:
 	$(PYTHON) benchmarks/bench_throughput.py

@@ -1,14 +1,18 @@
 """Campaign throughput: the Figure 5 grid at jobs=1 vs jobs=N.
 
-Usable two ways:
+Usable three ways:
 
 * ``python benchmarks/bench_throughput.py [--jobs N] [-n INSTR] [-w a,b]``
   runs the full comparison and prints one machine-readable JSON object
   (wall-clock, simulated instructions/sec, speedup) to stdout.
+* ``--output BENCH_throughput.json`` additionally writes a compact
+  trend record (schema: commit, jobs, grid, sims/sec) — ``make bench``
+  uses this, and the checked-in ``BENCH_throughput.json`` at the repo
+  root is the baseline the trajectory starts from.
 * under pytest it asserts the parallel run reproduces the sequential
   results exactly, on a reduced grid.
 
-Both paths bypass the result memo (``memo=False``) — this measures
+All paths bypass the result memo (``memo=False``) — this measures
 execution, not cache hits — but share traces the way any campaign does.
 """
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
 import time
 
@@ -98,6 +103,55 @@ def test_campaign_throughput(once):
         report["sequential"]["simulated_instructions"]
 
 
+def git_commit() -> str:
+    """Short commit id of the benchmarked tree ("unknown" outside git)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def bench_record(report: dict) -> dict:
+    """The compact machine-readable trend record for BENCH_throughput.json.
+
+    Schema: commit, jobs, grid, sims/sec — enough for a dashboard to
+    plot the throughput trajectory across PRs without re-parsing the
+    full report.
+    """
+    sequential = report["sequential"]
+    parallel = report["parallel"]
+    return {
+        "schema": "bench_throughput/v1",
+        "commit": git_commit(),
+        "jobs": {"sequential": 1, "parallel": parallel["jobs"]},
+        "grid": {
+            "models": report["models"],
+            "workloads": report["workloads"],
+            "instructions_per_kernel": report["instructions_per_kernel"],
+            "simulations": sequential["simulations"],
+        },
+        "sims_per_sec": {
+            "jobs1": round(sequential["simulations"]
+                           / sequential["wall_clock_s"], 2),
+            "jobsN": round(parallel["simulations"]
+                           / parallel["wall_clock_s"], 2),
+        },
+        "instructions_per_s": {
+            "jobs1": sequential["instructions_per_s"],
+            "jobsN": parallel["instructions_per_s"],
+        },
+        "wall_clock_s": {
+            "jobs1": sequential["wall_clock_s"],
+            "jobsN": parallel["wall_clock_s"],
+        },
+        "results_identical": report["results_identical"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-j", "--jobs", type=int, default=None,
@@ -106,6 +160,9 @@ def main(argv=None) -> int:
                         help="dynamic instructions per kernel")
     parser.add_argument("-w", "--workloads", type=str, default=None,
                         help="comma-separated kernel subset")
+    parser.add_argument("-o", "--output", type=str, default=None,
+                        help="also write the compact trend record "
+                             "(commit, jobs, grid, sims/sec) to this path")
     args = parser.parse_args(argv)
     config = ExperimentConfig()
     if args.instructions is not None:
@@ -117,6 +174,11 @@ def main(argv=None) -> int:
     report = campaign_throughput(args.jobs, config, workloads)
     json.dump(report, sys.stdout, indent=2)
     print()
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(bench_record(report), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"trend record written to {args.output}", file=sys.stderr)
     return 0
 
 

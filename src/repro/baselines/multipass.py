@@ -13,9 +13,9 @@ Configuration per Section 5.1: advances under all L2 misses and under
 
 from __future__ import annotations
 
-from ..engine.base import FetchEntry, ISSUED
+from ..engine.base import FetchEntry, ISSUED, STALLED
 from ..functional.trace import DynInst
-from ..isa.instructions import OpClass
+from ..memory.hierarchy import NO_MSHRS
 from .runahead import RUNAHEAD, RunaheadCore
 
 
@@ -36,10 +36,90 @@ class MultipassCore(RunaheadCore):
 
     # ------------------------------------------------------------------
     def try_issue(self, entry: FetchEntry) -> str:
-        dyn = entry.dyn
-        if dyn.index in self._results:
+        if entry.dyn.index in self._results:
             return self._issue_reused(entry)
-        return super().try_issue(entry)
+        return self._mode_issue(entry)
+
+    def do_issue(self) -> None:
+        # Specialised copy of CoreModel.do_issue with the result-reuse
+        # check inlined ahead of the mode-bound issue path.
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
+        slots = self._width
+        cycle = self.cycle
+        results = self._results
+        while slots > 0 and fetch_queue:
+            entry = fetch_queue[0]
+            if entry.decode_ready > cycle:
+                break
+            if entry.dyn.index in results:
+                status = self._issue_reused(entry)
+            else:
+                status = self._mode_issue(entry)
+            if status is not ISSUED:
+                break
+            fetch_queue.popleft()
+            self._progress = True
+            slots -= 1
+
+    def step_cycle(self) -> None:
+        # Merged copy of RunaheadCore.step_cycle with the result-reuse
+        # check inlined into the issue loop (kept in sync with the phase
+        # methods; the golden fixtures pin its equivalence).
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        # begin_cycle (retire fast path inlined)
+        hierarchy = self.hierarchy
+        ifetch_mshrs = hierarchy.ifetch_mshrs
+        if (ifetch_mshrs._next_ready is not None
+                and cycle >= ifetch_mshrs._next_ready):
+            ifetch_mshrs.retire_complete(cycle)
+        data_mshrs = hierarchy.mshrs
+        if data_mshrs._next_ready is not None and cycle >= data_mshrs._next_ready:
+            self.returned_mshrs = data_mshrs.retire_complete(cycle)
+        else:
+            self.returned_mshrs = NO_MSHRS
+        if self.mode == RUNAHEAD and cycle >= self._trigger_ready:
+            self._exit_runahead()
+        # do_issue (with result reuse)
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        progress = False
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            slots = self._width
+            results = self._results
+            while slots > 0 and fetch_queue:
+                entry = fetch_queue[0]
+                if entry.decode_ready > cycle:
+                    break
+                if entry.dyn.index in results:
+                    status = self._issue_reused(entry)
+                else:
+                    status = self._mode_issue(entry)
+                if status is not ISSUED:
+                    break
+                fetch_queue.popleft()
+                progress = True
+                slots -= 1
+        self._progress = progress
+        # do_fetch (shared body; guard saves the call when idle)
+        if (not self.fetch_blocked and cycle >= self.fetch_resume_cycle
+                and self.cursor < self._trace_len
+                and len(fetch_queue) < self._fq_depth):
+            self.do_fetch()
+        # store drain
+        store_queue = self.store_queue
+        if store_queue._queue and store_queue.drain_step(
+                self.hierarchy, cycle, self.committed_memory):
+            self._progress = True
+        if not self._progress:
+            self._leap_to_horizon()
 
     def _issue_reused(self, entry: FetchEntry) -> str:
         """Replay an instruction whose result a previous pass recorded.
@@ -49,18 +129,25 @@ class MultipassCore(RunaheadCore):
         issue slot and port (Multipass re-processes everything).
         """
         dyn = entry.dyn
-        if not self.ports.available(dyn.opclass):
-            self.stats.stalls.port += 1
-            from ..engine.base import STALLED
-
-            return STALLED
-        self.ports.acquire(dyn.opclass)
+        idx = dyn.index
+        ports = self.ports
+        if self._port_int[idx]:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
+                return STALLED
+            ports.int_free -= 1
+        else:
+            if ports.mem_free <= 0:
+                self.stats.stalls.port += 1
+                return STALLED
+            ports.mem_free -= 1
         completion = self.cycle + 1
         self.result_reuses += 1
         if self.mode == RUNAHEAD:
-            self._shadow_poison.discard(dyn.dst) if dyn.dst is not None else None
-            if dyn.dst is not None:
-                self.reg_ready[dyn.dst] = completion
+            dst = dyn.dst
+            if dst is not None:
+                self._shadow_poison.discard(dst)
+                self.reg_ready[dst] = completion
             self.stats.advance_instructions += 1
             if dyn.is_control:
                 self.predictor.update(dyn)
@@ -71,27 +158,36 @@ class MultipassCore(RunaheadCore):
         else:
             # Architectural pass: the instruction commits with its saved
             # result; stores still enter the store queue for real.
-            if dyn.opclass is OpClass.STORE:
+            if dyn.is_store:
                 if self.store_queue.full:
                     self.stats.stalls.store_buffer_full += 1
-                    from ..engine.base import STALLED
-
                     return STALLED
                 self.store_queue.push(dyn.addr, dyn.store_val, self.cycle)
-            if dyn.dst is not None:
-                self.reg_ready[dyn.dst] = completion
-            self._results.discard(dyn.index)  # consumed architecturally
+            dst = dyn.dst
+            if dst is not None:
+                self.reg_ready[dst] = completion
+            self._results.discard(idx)  # consumed architecturally
             self.commit(dyn, entry, completion)
         return ISSUED
 
     # ------------------------------------------------------------------
     def _runahead_writeback(self, dyn: DynInst, poisoned: bool,
                             completion: int) -> None:
-        super()._runahead_writeback(dyn, poisoned, completion)
-        if (not poisoned and dyn.index not in self._results
-                and len(self._results) < self.result_buffer_entries
-                and dyn.opclass is not OpClass.STORE):
-            self._results.add(dyn.index)
+        # Flattened parent body (this runs once per runahead instruction).
+        dst = dyn.dst
+        if dst is not None:
+            if poisoned:
+                self._shadow_poison.add(dst)
+                self.reg_ready[dst] = self.cycle
+            else:
+                self._shadow_poison.discard(dst)
+                self.reg_ready[dst] = completion
+        self.stats.advance_instructions += 1
+        if not poisoned and not dyn.is_store:
+            results = self._results
+            if (dyn.index not in results
+                    and len(results) < self.result_buffer_entries):
+                results.add(dyn.index)
 
     def _exit_runahead(self) -> None:
         super()._exit_runahead()

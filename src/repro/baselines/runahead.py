@@ -21,10 +21,10 @@ Configurations follow Section 5.1 / Figure 6:
 from __future__ import annotations
 
 from ..engine.base import CoreModel, FetchEntry, ISSUED, STALLED
-from ..functional.trace import DynInst
-from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..functional.trace import DynInst, KIND_LOAD, KIND_STORE
 from ..isa.registers import ZERO_REG
-from ..memory.hierarchy import L2, MEMORY, PENDING, STREAM, MemResult
+from ..memory.hierarchy import (L2, MEMORY, NO_MSHRS, PENDING, STREAM,
+                                MemResult)
 from .runahead_cache import RunaheadCache
 
 NORMAL = "normal"
@@ -49,16 +49,21 @@ class RunaheadCore(CoreModel):
         self._trigger_ready = 0
         self._ckpt_cursor = 0
         self._ckpt_reg_ready: list[int] | None = None
+        #: Mode-bound issue path (rebound on mode transitions) — saves a
+        #: dispatch hop per issue attempt on the hot path.
+        self._mode_issue = self._try_issue_normal
 
     # ==================================================================
     # mode control
     # ==================================================================
     def begin_cycle(self) -> None:
-        super().begin_cycle()
+        # Flattened super() chain: this runs every stepped cycle.
+        self.returned_mshrs = self.hierarchy.retire_mshrs(self.cycle)
         if self.mode == RUNAHEAD and self.cycle >= self._trigger_ready:
             self._exit_runahead()
 
-    def next_event_hint(self) -> int | None:
+    def next_event_cycle(self) -> int | None:
+        """Horizon: a runahead period ends when the trigger miss fills."""
         if self.mode == RUNAHEAD:
             return self._trigger_ready
         return None
@@ -66,7 +71,13 @@ class RunaheadCore(CoreModel):
     def done(self) -> bool:
         # A runahead period always ends with a restore; the run can only
         # finish in normal mode, after the architectural re-execution.
-        return self.mode == NORMAL and super().done()
+        return (
+            self.mode == NORMAL
+            and self.cursor >= self._trace_len
+            and not self.fetch_queue
+            and self.store_queue.empty
+            and self.cycle >= self.last_completion
+        )
 
     def _qualifies_entry(self, result: MemResult) -> bool:
         """Should this normal-mode miss start a runahead period?
@@ -92,6 +103,7 @@ class RunaheadCore(CoreModel):
 
     def _enter_runahead(self, dyn: DynInst, result: MemResult) -> None:
         self.mode = RUNAHEAD
+        self._mode_issue = self._try_issue_runahead
         self._trigger_ready = result.ready_cycle
         self._ckpt_cursor = dyn.index
         self._ckpt_reg_ready = list(self.reg_ready)
@@ -101,6 +113,7 @@ class RunaheadCore(CoreModel):
     def _exit_runahead(self) -> None:
         """The triggering miss returned: discard everything and replay."""
         self.mode = NORMAL
+        self._mode_issue = self._try_issue_normal
         self.cursor = self._ckpt_cursor
         self.fetch_queue.clear()
         self.fetch_blocked = False
@@ -115,57 +128,146 @@ class RunaheadCore(CoreModel):
     # issue
     # ==================================================================
     def try_issue(self, entry: FetchEntry) -> str:
-        if self.mode == RUNAHEAD:
-            return self._try_issue_runahead(entry)
-        return self._try_issue_normal(entry)
+        return self._mode_issue(entry)
+
+    def do_issue(self) -> None:
+        # Specialised copy of CoreModel.do_issue that invokes the
+        # mode-bound issue path directly (re-read per iteration: an
+        # issue can start or end a runahead period mid-cycle).
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
+        slots = self._width
+        cycle = self.cycle
+        while slots > 0 and fetch_queue:
+            entry = fetch_queue[0]
+            if entry.decode_ready > cycle:
+                break
+            if self._mode_issue(entry) is not ISSUED:
+                break
+            fetch_queue.popleft()
+            self._progress = True
+            slots -= 1
+
+    def step_cycle(self) -> None:
+        # Merged copy of CoreModel.step_cycle (begin/issue/drain phases
+        # flattened into one frame; the phase methods above are kept in
+        # sync for direct driving).  This is the per-cycle hot path —
+        # the golden fixtures pin its equivalence.
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        # begin_cycle (retire fast path inlined)
+        hierarchy = self.hierarchy
+        ifetch_mshrs = hierarchy.ifetch_mshrs
+        if (ifetch_mshrs._next_ready is not None
+                and cycle >= ifetch_mshrs._next_ready):
+            ifetch_mshrs.retire_complete(cycle)
+        data_mshrs = hierarchy.mshrs
+        if data_mshrs._next_ready is not None and cycle >= data_mshrs._next_ready:
+            self.returned_mshrs = data_mshrs.retire_complete(cycle)
+        else:
+            self.returned_mshrs = NO_MSHRS
+        if self.mode == RUNAHEAD and cycle >= self._trigger_ready:
+            self._exit_runahead()
+        # do_issue
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        progress = False
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            slots = self._width
+            while slots > 0 and fetch_queue:
+                entry = fetch_queue[0]
+                if entry.decode_ready > cycle:
+                    break
+                if self._mode_issue(entry) is not ISSUED:
+                    break
+                fetch_queue.popleft()
+                progress = True
+                slots -= 1
+        self._progress = progress
+        # do_fetch (shared body; guard saves the call when idle)
+        if (not self.fetch_blocked and cycle >= self.fetch_resume_cycle
+                and self.cursor < self._trace_len
+                and len(fetch_queue) < self._fq_depth):
+            self.do_fetch()
+        # store drain
+        store_queue = self.store_queue
+        if store_queue._queue and store_queue.drain_step(
+                self.hierarchy, cycle, self.committed_memory):
+            self._progress = True
+        if not self._progress:
+            self._leap_to_horizon()
 
     def _try_issue_normal(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
-        stalls = self.stats.stalls
-        if not self.ports.available(dyn.opclass):
-            stalls.port += 1
-            return STALLED
-        for src in dyn.srcs:
-            if self.reg_ready[src] > self.cycle:
-                stalls.src_wait += 1
+        idx = dyn.index
+        cycle = self.cycle
+        ports = self.ports
+        port_int = self._port_int[idx]
+        if port_int:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
                 return STALLED
-        dst = dyn.dst
-        if dst is not None and dst != ZERO_REG and self.reg_ready[dst] > self.cycle:
-            stalls.waw_wait += 1
+        elif ports.mem_free <= 0:
+            self.stats.stalls.port += 1
             return STALLED
-        if dyn.opclass is OpClass.LOAD:
+        reg_ready = self.reg_ready
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            if reg_ready[self._src0[idx]] > cycle:
+                self.stats.stalls.src_wait += 1
+                return STALLED
+            if nsrc > 1:
+                if reg_ready[self._src1[idx]] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        if reg_ready[src] > cycle:
+                            self.stats.stalls.src_wait += 1
+                            return STALLED
+        dst = self._dst[idx]
+        if dst is not None and dst != ZERO_REG and reg_ready[dst] > cycle:
+            self.stats.stalls.waw_wait += 1
+            return STALLED
+        kind = self._kind[idx]
+        if kind == KIND_LOAD:
             hit = self.store_queue.forward(dyn.addr)
             if hit is not None:
                 self.stats.store_forward_hits += 1
-                completion = self.cycle + self.config.hierarchy.l1d.hit_latency
+                completion = cycle + self._l1d_hit_latency
             else:
-                result = self.hierarchy.data_access(dyn.addr, self.cycle)
+                result = self.hierarchy.data_access(dyn.addr, cycle)
                 if result.stalled:
-                    stalls.mshr_full += 1
+                    self.stats.stalls.mshr_full += 1
                     return STALLED
                 self.record_miss(result)
                 if self._qualifies_entry(result):
                     # Checkpoint at the load and run ahead; the load is
                     # the first runahead instruction (discarded later).
                     self._enter_runahead(dyn, result)
-                    self.ports.acquire(dyn.opclass)
+                    ports.mem_free -= 1
                     self._runahead_writeback(dyn, poisoned=True,
-                                             completion=self.cycle + 1)
+                                             completion=cycle + 1)
                     return ISSUED
                 completion = result.ready_cycle
-            self.ports.acquire(dyn.opclass)
-            self.commit(dyn, entry, completion)
-            return ISSUED
-        if dyn.opclass is OpClass.STORE:
+        elif kind == KIND_STORE:
             if self.store_queue.full:
-                stalls.store_buffer_full += 1
+                self.stats.stalls.store_buffer_full += 1
                 return STALLED
-            self.store_queue.push(dyn.addr, dyn.store_val, self.cycle)
-            self.ports.acquire(dyn.opclass)
-            self.commit(dyn, entry, self.cycle + 1)
-            return ISSUED
-        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
-        self.ports.acquire(dyn.opclass)
+            self.store_queue.push(dyn.addr, dyn.store_val, cycle)
+            completion = cycle + 1
+        else:
+            completion = cycle + self._exec_done[idx]
+        if port_int:
+            ports.int_free -= 1
+        else:
+            ports.mem_free -= 1
         self.commit(dyn, entry, completion)
         return ISSUED
 
@@ -174,33 +276,64 @@ class RunaheadCore(CoreModel):
     # ------------------------------------------------------------------
     def _try_issue_runahead(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
+        idx = dyn.index
+        cycle = self.cycle
         shadow = self._shadow_poison
-        poisoned = any(src in shadow for src in dyn.srcs)
-        for src in dyn.srcs:
-            if src not in shadow and self.reg_ready[src] > self.cycle:
+        reg_ready = self.reg_ready
+        poisoned = False
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            src = self._src0[idx]
+            if src in shadow:
+                poisoned = True
+            elif reg_ready[src] > cycle:
                 self.stats.stalls.src_wait += 1
                 return STALLED
-        if not self.ports.available(dyn.opclass):
+            if nsrc > 1:
+                src = self._src1[idx]
+                if src in shadow:
+                    poisoned = True
+                elif reg_ready[src] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        if src in shadow:
+                            poisoned = True
+                        elif reg_ready[src] > cycle:
+                            self.stats.stalls.src_wait += 1
+                            return STALLED
+        ports = self.ports
+        port_int = self._port_int[idx]
+        if port_int:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
+                return STALLED
+        elif ports.mem_free <= 0:
             self.stats.stalls.port += 1
             return STALLED
 
-        completion = self.cycle + 1
+        completion = cycle + 1
+        kind = self._kind[idx]
         if not poisoned:
-            if dyn.opclass is OpClass.LOAD:
+            if kind == KIND_LOAD:
                 status, completion, poisoned = self._runahead_load(dyn)
                 if status is not ISSUED:
                     return status
-            elif dyn.opclass is OpClass.STORE:
+            elif kind == KIND_STORE:
                 self.ra_cache.write(dyn.addr, dyn.store_val, poisoned=False)
             else:
-                completion = self.cycle + EXEC_LATENCY[dyn.opclass]
-        elif dyn.opclass is OpClass.STORE:
+                completion = cycle + self._exec_done[idx]
+        elif kind == KIND_STORE:
             # Poisoned data (or address): best-effort poison propagation.
             addr_poisoned = dyn.srcs[0] in shadow
             if not addr_poisoned:
                 self.ra_cache.write(dyn.addr, None, poisoned=True)
 
-        self.ports.acquire(dyn.opclass)
+        if port_int:
+            ports.int_free -= 1
+        else:
+            ports.mem_free -= 1
         self._runahead_writeback(dyn, poisoned, completion)
         if dyn.is_control:
             self.predictor.update(dyn)
@@ -219,11 +352,11 @@ class RunaheadCore(CoreModel):
         """Returns (status, completion, poisoned)."""
         fwd = self.ra_cache.read(dyn.addr)
         if fwd is not None:
-            return ISSUED, self.cycle + self.config.hierarchy.l1d.hit_latency, fwd[1]
+            return ISSUED, self.cycle + self._l1d_hit_latency, fwd[1]
         hit = self.store_queue.forward(dyn.addr)
         if hit is not None:
             self.stats.store_forward_hits += 1
-            return ISSUED, self.cycle + self.config.hierarchy.l1d.hit_latency, False
+            return ISSUED, self.cycle + self._l1d_hit_latency, False
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self.stats.stalls.mshr_full += 1
@@ -246,11 +379,12 @@ class RunaheadCore(CoreModel):
 
     def _runahead_writeback(self, dyn: DynInst, poisoned: bool,
                             completion: int) -> None:
-        if dyn.dst is not None:
+        dst = dyn.dst
+        if dst is not None:
             if poisoned:
-                self._shadow_poison.add(dyn.dst)
-                self.reg_ready[dyn.dst] = self.cycle
+                self._shadow_poison.add(dst)
+                self.reg_ready[dst] = self.cycle
             else:
-                self._shadow_poison.discard(dyn.dst)
-                self.reg_ready[dyn.dst] = completion
+                self._shadow_poison.discard(dst)
+                self.reg_ready[dst] = completion
         self.stats.advance_instructions += 1

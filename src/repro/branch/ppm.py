@@ -11,8 +11,6 @@ a misprediction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 
 def _fold(value: int, bits: int) -> int:
     """Fold an arbitrarily long integer into ``bits`` bits by XOR."""
@@ -24,14 +22,6 @@ def _fold(value: int, bits: int) -> int:
     return folded
 
 
-@dataclass
-class _TaggedEntry:
-    tag: int = 0
-    counter: int = 0  # 2-bit signed: -2..1, taken when >= 0
-    useful: int = 0
-    valid: bool = False
-
-
 class PPMPredictor:
     """Three-table PPM direction predictor with global history.
 
@@ -39,6 +29,11 @@ class PPMPredictor:
     base (4 KB) plus two 4K-entry tagged tables with 8-bit tags and
     2-bit counters (~10 KB together); the remainder of the paper's
     budget covers the structures we do not model bit-exactly.
+
+    Tagged-table state is stored as parallel flat lists per level
+    (``tag`` / ``counter`` / ``useful`` / ``valid``): one core is built
+    per campaign cell, so table construction must be list-multiply
+    cheap, not thousands of per-entry objects.
     """
 
     def __init__(self, base_entries: int = 16384, tagged_entries: int = 4096,
@@ -47,20 +42,32 @@ class PPMPredictor:
             raise ValueError("table sizes must be powers of two")
         self.base = [0] * base_entries  # 2-bit: 0..3, taken when >= 2
         self.base_mask = base_entries - 1
-        self.tagged = [
-            [_TaggedEntry() for _ in range(tagged_entries)]
-            for _ in history_lengths
-        ]
+        levels = len(history_lengths)
+        self.tag_table = [[0] * tagged_entries for _ in range(levels)]
+        #: 2-bit signed counter: -2..1, taken when >= 0.
+        self.counter_table = [[0] * tagged_entries for _ in range(levels)]
+        self.useful_table = [[0] * tagged_entries for _ in range(levels)]
+        self.valid_table = [[False] * tagged_entries for _ in range(levels)]
         self.tagged_mask = tagged_entries - 1
         self.tag_bits = tag_bits
         self.history_lengths = history_lengths
         self.history = 0
         self.lookups = 0
         self.mispredicts = 0
+        #: Index/tag computation is a pure function of (pc, the longest
+        #: history window); loops re-predict the same few branches under
+        #: recurring history patterns, so memoize it (bounded).
+        self._longest_mask = (1 << max(history_lengths)) - 1
+        self._index_memo: dict = {}
 
     # ------------------------------------------------------------------
     def _indices(self, pc: int):
         """(base_index, [(table, index, tag), ...]) for ``pc``."""
+        key = (pc, self.history & self._longest_mask)
+        memo = self._index_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
         base_index = (pc >> 2) & self.base_mask
         tagged = []
         index_bits = self.tagged_mask.bit_length()
@@ -69,16 +76,18 @@ class PPMPredictor:
             index = ((pc >> 2) ^ _fold(hist, index_bits)) & self.tagged_mask
             tag = ((pc >> 9) ^ _fold(hist, self.tag_bits)) & ((1 << self.tag_bits) - 1)
             tagged.append((level, index, tag))
-        return base_index, tagged
+        if len(memo) >= (1 << 16):
+            memo.clear()
+        result = memo[key] = (base_index, tagged)
+        return result
 
     def predict(self, pc: int) -> bool:
         """Predict the direction of the branch at ``pc``."""
         self.lookups += 1
         base_index, tagged = self._indices(pc)
         for level, index, tag in reversed(tagged):  # longest history first
-            entry = self.tagged[level][index]
-            if entry.valid and entry.tag == tag:
-                return entry.counter >= 0
+            if self.valid_table[level][index] and self.tag_table[level][index] == tag:
+                return self.counter_table[level][index] >= 0
         return self.base[base_index] >= 2
 
     def update(self, pc: int, taken: bool) -> None:
@@ -86,13 +95,14 @@ class PPMPredictor:
         base_index, tagged = self._indices(pc)
         provider_level = None
         for level, index, tag in reversed(tagged):
-            entry = self.tagged[level][index]
-            if entry.valid and entry.tag == tag:
+            if self.valid_table[level][index] and self.tag_table[level][index] == tag:
                 provider_level = level
-                predicted = entry.counter >= 0
-                entry.counter = _saturate(entry.counter + (1 if taken else -1), -2, 1)
+                counters = self.counter_table[level]
+                predicted = counters[index] >= 0
+                counters[index] = _saturate(counters[index] + (1 if taken else -1), -2, 1)
                 if predicted == taken:
-                    entry.useful = min(entry.useful + 1, 3)
+                    useful = self.useful_table[level]
+                    useful[index] = min(useful[index] + 1, 3)
                 break
         else:
             predicted = self.base[base_index] >= 2
@@ -109,14 +119,14 @@ class PPMPredictor:
         """On a mispredict, claim an entry in a longer-history table."""
         start = 0 if provider_level is None else provider_level + 1
         for level, index, tag in tagged[start:]:
-            entry = self.tagged[level][index]
-            if not entry.valid or entry.useful == 0:
-                entry.tag = tag
-                entry.counter = 0 if taken else -1
-                entry.useful = 0
-                entry.valid = True
+            useful = self.useful_table[level]
+            if not self.valid_table[level][index] or useful[index] == 0:
+                self.tag_table[level][index] = tag
+                self.counter_table[level][index] = 0 if taken else -1
+                useful[index] = 0
+                self.valid_table[level][index] = True
                 return
-            entry.useful -= 1
+            useful[index] -= 1
 
     @property
     def accuracy(self) -> float:

@@ -29,10 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..engine.base import CoreModel, FetchEntry, ISSUED, STALLED
-from ..functional.trace import DynInst
-from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..functional.trace import DynInst, KIND_LOAD, KIND_STORE
 from ..isa.registers import NUM_REGS, ZERO_REG
-from ..memory.hierarchy import L2, MEMORY, PENDING, STREAM, MemResult
+from ..memory.hierarchy import (L2, MEMORY, NO_MSHRS, PENDING, STREAM,
+                                MemResult)
 from .poison import PoisonAllocator
 from .regfile import MainRegFile, ScratchRegFile
 from .signature import LoadSignature
@@ -87,7 +87,11 @@ class ICFPCore(CoreModel):
                          predictor=predictor)
         self.features = features if features is not None else ICFPFeatures()
         f = self.features
+        self._mt_rally = f.mt_rally
         self.mode = NORMAL
+        #: Mode-bound issue path (rebound on every mode transition) —
+        #: saves the mode dispatch per issue attempt on the hot path.
+        self._mode_issue = self._try_issue_normal
         self.main_rf = MainRegFile()
         self.scratch_rf = ScratchRegFile()
         self.slice = SliceBuffer(f.slice_entries)
@@ -120,13 +124,95 @@ class ICFPCore(CoreModel):
     # ==================================================================
     # per-cycle phases
     # ==================================================================
+    def step_cycle(self) -> None:
+        # Merged copy of CoreModel.step_cycle (phases flattened into one
+        # frame; kept in sync with the phase methods below, which remain
+        # for direct driving — the golden fixtures pin equivalence).
+        # iCFP replaces the conventional store queue with the chained
+        # store buffer (drained in the end phase), so the base drain
+        # phase would only probe an always-empty queue and is omitted.
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        # begin_cycle (retire fast path inlined)
+        hierarchy = self.hierarchy
+        ifetch_mshrs = hierarchy.ifetch_mshrs
+        if (ifetch_mshrs._next_ready is not None
+                and cycle >= ifetch_mshrs._next_ready):
+            ifetch_mshrs.retire_complete(cycle)
+        data_mshrs = hierarchy.mshrs
+        if data_mshrs._next_ready is not None and cycle >= data_mshrs._next_ready:
+            returned = data_mshrs.retire_complete(cycle)
+        else:
+            returned = NO_MSHRS
+        self.returned_mshrs = returned
+        if self.mode != NORMAL:
+            if returned:
+                mask = self.poison_alloc.mask_of_returned(returned)
+                if mask:
+                    self.pending_rally_mask |= mask
+            if not self.rally_active:
+                if self._stale_check_needed:
+                    self._stale_check_needed = False
+                    stale = self.slice.pending_poison() & ~self._in_flight_bits()
+                    if stale:
+                        self.pending_rally_mask |= stale
+                if self.pending_rally_mask and self.slice._active:
+                    self._start_rally_pass()
+        # do_issue
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        progress = False
+        slots = self._width
+        run_tail = True
+        if self.rally_active:
+            if self._rally_step():
+                slots -= 1
+                progress = True
+            if not self._mt_rally:
+                run_tail = False  # tail blocked while a rally is in flight
+        fetch_queue = self.fetch_queue
+        if run_tail and fetch_queue:
+            while slots > 0 and fetch_queue:
+                entry = fetch_queue[0]
+                if entry.decode_ready > cycle:
+                    break
+                if self._mode_issue(entry) is not ISSUED:
+                    break
+                fetch_queue.popleft()
+                progress = True
+                slots -= 1
+        self._progress = progress
+        # do_fetch (shared body; guard saves the call when idle)
+        if (not self.fetch_blocked and cycle >= self.fetch_resume_cycle
+                and self.cursor < self._trace_len
+                and len(fetch_queue) < self._fq_depth):
+            self.do_fetch()
+        # end_cycle: gated store-buffer drain + mode-exit checks
+        checkpoint = self.checkpoint
+        sb = self.sb
+        if sb.ssn_complete + 1 < sb.ssn_tail and sb.drain_step(
+                self.hierarchy, cycle, self.committed_memory,
+                before_ssn=checkpoint.ssn if checkpoint is not None else None):
+            self._progress = True
+        mode = self.mode
+        if mode == SIMPLE_RA:
+            self._maybe_resume_advance()
+        elif mode == ADVANCE:
+            self._maybe_exit_advance()
+        if not self._progress:
+            self._leap_to_horizon()
+
     def begin_cycle(self) -> None:
-        super().begin_cycle()
+        # Flattened super() chain: this runs every stepped cycle.
+        returned = self.hierarchy.retire_mshrs(self.cycle)
+        self.returned_mshrs = returned
         if self.mode == NORMAL:
             return
-        mask = self.poison_alloc.mask_of_returned(self.returned_mshrs)
-        if mask:
-            self.pending_rally_mask |= mask
+        if returned:
+            mask = self.poison_alloc.mask_of_returned(returned)
+            if mask:
+                self.pending_rally_mask |= mask
         if not self.rally_active:
             if self._stale_check_needed:
                 # Entries captured *while* a pass was in flight can carry
@@ -149,8 +235,10 @@ class ICFPCore(CoreModel):
         return mask
 
     def do_issue(self) -> None:
-        self.ports.reset()
-        slots = self.config.width
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
+        slots = self._width
         if self.rally_active:
             if self._rally_step():
                 # The rally slot did real work this cycle.
@@ -159,44 +247,50 @@ class ICFPCore(CoreModel):
             if not self.features.mt_rally:
                 return  # tail blocked while a rally is in flight
         fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
         cycle = self.cycle
-        try_issue = self.try_issue
         while slots > 0 and fetch_queue:
             entry = fetch_queue[0]
             if entry.decode_ready > cycle:
                 break
-            if try_issue(entry) is not ISSUED:
+            # Read _mode_issue per iteration: an issue can flip the mode
+            # (e.g. a load entering advance) mid-cycle.
+            if self._mode_issue(entry) is not ISSUED:
                 break
             fetch_queue.popleft()
             self._progress = True
             slots -= 1
 
     def end_cycle(self) -> None:
-        gate = self.checkpoint.ssn if self.checkpoint is not None else None
+        checkpoint = self.checkpoint
+        gate = checkpoint.ssn if checkpoint is not None else None
         if self.sb.drain_step(self.hierarchy, self.cycle,
                               self.committed_memory, before_ssn=gate):
             self._progress = True
-        if self.mode == SIMPLE_RA:
+        mode = self.mode
+        if mode == SIMPLE_RA:
             self._maybe_resume_advance()
-        elif self.mode == ADVANCE:
+        elif mode == ADVANCE:
             self._maybe_exit_advance()
 
     def done(self) -> bool:
         return (
             self.mode == NORMAL
-            and self.cursor >= len(self.trace)
+            and self.cursor >= self._trace_len
             and not self.fetch_queue
             and self.sb.empty
             and self.cycle >= self.last_completion
         )
 
-    def next_event_hint(self) -> int | None:
+    def next_event_cycle(self) -> int | None:
+        """Horizon: rally waits, blocked rallies, and the gated SB drain."""
         hints = []
         if self.rally_active and self._rally_wait_until > self.cycle:
             hints.append(self._rally_wait_until)
         if self._rally_block is not None:
             hints.append(self._rally_block[1])
-        drain = self.sb.next_drain_event(self.cycle)
+        drain = self.sb.next_event_cycle(self.cycle)
         if drain is not None:
             hints.append(drain)
         return min(hints) if hints else None
@@ -221,57 +315,68 @@ class ICFPCore(CoreModel):
     # issue paths
     # ==================================================================
     def try_issue(self, entry: FetchEntry) -> str:
-        if self.mode == ADVANCE:
-            return self._try_issue_advance(entry)
-        if self.mode == SIMPLE_RA:
-            return self._try_issue_simple_ra(entry)
-        return self._try_issue_normal(entry)
+        return self._mode_issue(entry)
 
     # ------------------------------------------------------------------
     # normal mode
     # ------------------------------------------------------------------
     def _try_issue_normal(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
-        stalls = self.stats.stalls
+        idx = dyn.index
         cycle = self.cycle
         reg_ready = self.reg_ready
-        if not self.ports.available(dyn.opclass):
-            stalls.port += 1
-            return STALLED
-        for src in dyn.srcs:
-            if reg_ready[src] > cycle:
-                stalls.src_wait += 1
+        ports = self.ports
+        if self._port_int[idx]:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
                 return STALLED
-        dst = dyn.dst
+        elif ports.mem_free <= 0:
+            self.stats.stalls.port += 1
+            return STALLED
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            if reg_ready[self._src0[idx]] > cycle:
+                self.stats.stalls.src_wait += 1
+                return STALLED
+            if nsrc > 1:
+                if reg_ready[self._src1[idx]] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        if reg_ready[src] > cycle:
+                            self.stats.stalls.src_wait += 1
+                            return STALLED
+        dst = self._dst[idx]
         if dst is not None and dst != ZERO_REG and reg_ready[dst] > cycle:
-            stalls.waw_wait += 1
+            self.stats.stalls.waw_wait += 1
             return STALLED
 
-        opclass = dyn.opclass
-        if opclass is OpClass.LOAD:
+        kind = self._kind[idx]
+        if kind == KIND_LOAD:
             return self._normal_load(dyn, entry)
-        if opclass is OpClass.STORE:
+        if kind == KIND_STORE:
             if self.sb.full:
-                stalls.store_buffer_full += 1
+                self.stats.stalls.store_buffer_full += 1
                 return STALLED
             self.sb.allocate(dyn.addr, dyn.store_val, 0, -1)
-            self._finish_issue(dyn, entry, self.cycle + 1)
+            self._finish_issue(dyn, entry, cycle + 1)
             return ISSUED
-        completion = self.cycle + EXEC_LATENCY[opclass]
+        completion = cycle + self._exec_done[idx]
         self._finish_issue(dyn, entry, completion)
         return ISSUED
 
     def _normal_load(self, dyn: DynInst, entry: FetchEntry) -> str:
         fwd = self.sb.forward(dyn.addr)
-        if isinstance(fwd, IndexedStall):
-            self.stats.stalls.store_buffer_full += 1
-            return STALLED  # wait for the conflicting store to drain
-        if isinstance(fwd, ForwardResult):
+        if fwd is not None:
+            if type(fwd) is IndexedStall:
+                self.stats.stalls.store_buffer_full += 1
+                return STALLED  # wait for the conflicting store to drain
             self.stats.store_forward_hits += 1
             self.stats.store_forward_hops += fwd.excess_hops
             self._check_forward(fwd, dyn)
-            lat = self.config.hierarchy.l1d.hit_latency
-            self._finish_issue(dyn, entry, self.cycle + lat + fwd.excess_hops)
+            self._finish_issue(dyn, entry, self.cycle + self._l1d_hit_latency
+                               + fwd.excess_hops)
             return ISSUED
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
@@ -281,14 +386,17 @@ class ICFPCore(CoreModel):
         if self._qualifies_for_advance(result):
             # The defining transition: checkpoint and keep flowing.
             self._enter_advance()
-            self.ports.acquire(dyn.opclass)
+            self.ports.mem_free -= 1
             return self._advance_missing_load(dyn, entry, result)
         self._finish_issue(dyn, entry, result.ready_cycle)
         return ISSUED
 
     def _finish_issue(self, dyn: DynInst, entry: FetchEntry, completion: int) -> None:
         """Common issue epilogue for normal-mode instructions."""
-        self.ports.acquire(dyn.opclass)
+        if self._port_int[dyn.index]:
+            self.ports.int_free -= 1
+        else:
+            self.ports.mem_free -= 1
         self.commit(dyn, entry, completion)
         if dyn.dst is not None:
             if self.mode == NORMAL:
@@ -302,21 +410,41 @@ class ICFPCore(CoreModel):
     # ------------------------------------------------------------------
     def _try_issue_advance(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
-        stalls = self.stats.stalls
+        idx = dyn.index
         poison_of = self.main_rf.poison
         reg_ready = self.reg_ready
         cycle = self.cycle
         src_poison = 0
-        for src in dyn.srcs:
-            src_poison |= poison_of[src]
         # Non-poisoned inputs must be timing-ready (either to execute or
         # to be captured as slice side inputs).
-        for src in dyn.srcs:
-            if not poison_of[src] and reg_ready[src] > cycle:
-                stalls.src_wait += 1
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            src = self._src0[idx]
+            poison = poison_of[src]
+            if poison:
+                src_poison = poison
+            elif reg_ready[src] > cycle:
+                self.stats.stalls.src_wait += 1
                 return STALLED
+            if nsrc > 1:
+                src = self._src1[idx]
+                poison = poison_of[src]
+                if poison:
+                    src_poison |= poison
+                elif reg_ready[src] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        poison = poison_of[src]
+                        if poison:
+                            src_poison |= poison
+                        elif reg_ready[src] > cycle:
+                            self.stats.stalls.src_wait += 1
+                            return STALLED
 
-        if dyn.opclass is OpClass.STORE:
+        kind = self._kind[idx]
+        if kind == KIND_STORE:
             return self._advance_store(dyn, entry, src_poison)
 
         if src_poison:
@@ -324,31 +452,40 @@ class ICFPCore(CoreModel):
             return self._capture_slice(dyn, entry, src_poison)
 
         # Miss-independent: execute and commit.
-        if not self.ports.available(dyn.opclass):
-            stalls.port += 1
+        ports = self.ports
+        port_int = self._port_int[idx]
+        if port_int:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
+                return STALLED
+        elif ports.mem_free <= 0:
+            self.stats.stalls.port += 1
             return STALLED
-        if dyn.opclass is OpClass.LOAD:
+        if kind == KIND_LOAD:
             return self._advance_load(dyn, entry)
-        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
-        self.ports.acquire(dyn.opclass)
+        completion = cycle + self._exec_done[idx]
+        if port_int:
+            ports.int_free -= 1
+        else:
+            ports.mem_free -= 1
         self._commit_advance(dyn, entry, completion)
         return ISSUED
 
     def _advance_load(self, dyn: DynInst, entry: FetchEntry) -> str:
         fwd = self.sb.forward(dyn.addr)
-        if isinstance(fwd, IndexedStall):
-            self._enter_simple_ra(dyn.index, "indexed_stall")
-            return STALLED
-        if isinstance(fwd, ForwardResult):
+        if fwd is not None:
+            if type(fwd) is IndexedStall:
+                self._enter_simple_ra(dyn.index, "indexed_stall")
+                return STALLED
             self.stats.store_forward_hits += 1
             self.stats.store_forward_hops += fwd.excess_hops
             if fwd.poison:
                 # Forwarding from a miss-dependent store poisons the load.
                 return self._capture_slice(dyn, entry, fwd.poison)
             self._check_forward(fwd, dyn)
-            lat = self.config.hierarchy.l1d.hit_latency
-            self.ports.acquire(dyn.opclass)
-            self._commit_advance(dyn, entry, self.cycle + lat + fwd.excess_hops)
+            self.ports.mem_free -= 1
+            self._commit_advance(dyn, entry, self.cycle + self._l1d_hit_latency
+                                 + fwd.excess_hops)
             return ISSUED
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
@@ -356,11 +493,11 @@ class ICFPCore(CoreModel):
             return STALLED
         self.record_miss(result)
         if self._qualifies_for_advance(result):
-            self.ports.acquire(dyn.opclass)
+            self.ports.mem_free -= 1
             return self._advance_missing_load(dyn, entry, result)
         # Cache-sourced value: vulnerable to external stores.
         self.signature.insert(dyn.addr)
-        self.ports.acquire(dyn.opclass)
+        self.ports.mem_free -= 1
         self._commit_advance(dyn, entry, result.ready_cycle)
         return ISSUED
 
@@ -385,11 +522,11 @@ class ICFPCore(CoreModel):
             self._enter_simple_ra(dyn.index, "store_buffer_full")
             return STALLED
         if not data_poison:
-            if not self.ports.available(dyn.opclass):
+            if self.ports.mem_free <= 0:
                 self.stats.stalls.port += 1
                 return STALLED
             self.sb.allocate(dyn.addr, dyn.store_val, 0, self.next_seq)
-            self.ports.acquire(dyn.opclass)
+            self.ports.mem_free -= 1
             self._commit_advance(dyn, entry, self.cycle + 1)
             return ISSUED
         # Data-poisoned store: hold a store-buffer slot (so younger loads
@@ -465,7 +602,7 @@ class ICFPCore(CoreModel):
         Returns True when the rally did real work this cycle; pure waits
         (a blocked load, an in-slice FU dependence) return False so the
         idle-cycle fast-forward can jump them — the wake-up times are
-        exported through :meth:`next_event_hint`.
+        exported through :meth:`next_event_cycle`.
         """
         if self._rally_block is not None:
             slice_entry, ready = self._rally_block
@@ -490,7 +627,8 @@ class ICFPCore(CoreModel):
         dyn = slice_entry.dyn
         pending = 0
         value_ready = self.cycle
-        for src, producer in list(slice_entry.producer_seq.items()):
+        for src, producer in (list(slice_entry.producer_seq.items())
+                              if slice_entry.producer_seq else ()):
             producer_entry = self.slice_by_seq.get(producer)
             if producer_entry is None:
                 # Producer merged into main state in an earlier episode;
@@ -516,9 +654,9 @@ class ICFPCore(CoreModel):
         if self.features.validate:
             self._validate_bindings(slice_entry)
 
-        if dyn.opclass is OpClass.LOAD:
+        if dyn.is_load:
             return self._rally_load(slice_entry)
-        if dyn.opclass is OpClass.STORE:
+        if dyn.is_store:
             self.sb.update_store(slice_entry.ssn, dyn.store_val, 0)
             self._merge_rally_result(slice_entry, self.cycle + 1)
             self._pass_cursor += 1
@@ -528,7 +666,7 @@ class ICFPCore(CoreModel):
             # checkpoint is wrong-path state.  Squash and restart.
             self._squash_to_checkpoint()
             return True
-        completion = self.cycle + EXEC_LATENCY[dyn.opclass]
+        completion = self.cycle + self._exec_done[dyn.index]
         self._merge_rally_result(slice_entry, completion)
         self._pass_cursor += 1
         return True
@@ -550,9 +688,8 @@ class ICFPCore(CoreModel):
             self.stats.store_forward_hits += 1
             self.stats.store_forward_hops += fwd.excess_hops
             self._check_forward(fwd, dyn)
-            lat = self.config.hierarchy.l1d.hit_latency
-            self._merge_rally_result(slice_entry,
-                                     self.cycle + lat + fwd.excess_hops)
+            self._merge_rally_result(slice_entry, self.cycle
+                                     + self._l1d_hit_latency + fwd.excess_hops)
             self._pass_cursor += 1
             return True
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
@@ -642,11 +779,12 @@ class ICFPCore(CoreModel):
         if self.fetch_queue:
             self.checkpoint.cursor = self.fetch_queue[0].dyn.index
         self.mode = ADVANCE
+        self._mode_issue = self._try_issue_advance
         self.next_seq = 0
         self.stats.advance_entries += 1
 
     def _maybe_exit_advance(self) -> None:
-        if self.rally_active or self.slice.active_count():
+        if self.rally_active or self.slice._active:
             return
         # Every deferred instruction has merged; advance state is final.
         self.slice.reclaim_head()
@@ -657,6 +795,7 @@ class ICFPCore(CoreModel):
         self.main_rf.release()
         self.checkpoint = None
         self.mode = NORMAL
+        self._mode_issue = self._try_issue_normal
         self.signature.clear()
         self.pending_rally_mask = 0
 
@@ -664,6 +803,7 @@ class ICFPCore(CoreModel):
         if self.mode == SIMPLE_RA:
             return
         self.mode = SIMPLE_RA
+        self._mode_issue = self._try_issue_simple_ra
         self.simple_ra_start = dyn_index
         self.fallback_reason = reason
         self._shadow_poison = set()
@@ -674,7 +814,7 @@ class ICFPCore(CoreModel):
     def _maybe_resume_advance(self) -> None:
         reason = self.fallback_reason
         resume = False
-        if self.slice.active_count() == 0 and not self.rally_active:
+        if self.slice._active == 0 and not self.rally_active:
             # The whole advance episode has merged: resuming lets
             # _maybe_exit_advance release the checkpoint, which unblocks
             # the store-buffer drain (a full SB can never drain while
@@ -682,7 +822,8 @@ class ICFPCore(CoreModel):
             # would deadlock).
             resume = True
         elif reason == "slice_buffer_full":
-            resume = not self.slice.full
+            slice_buf = self.slice
+            resume = len(slice_buf._entries) < slice_buf.capacity
         elif reason == "store_buffer_full":
             resume = not self.sb.full
         else:  # poisoned_store_addr / indexed_stall: retry after rallies
@@ -690,6 +831,7 @@ class ICFPCore(CoreModel):
         if not resume:
             return
         self.mode = ADVANCE
+        self._mode_issue = self._try_issue_advance
         self.fallback_reason = None
         self.cursor = self.simple_ra_start
         self.fetch_queue.clear()
@@ -713,6 +855,7 @@ class ICFPCore(CoreModel):
         self.fetch_resume_cycle = self.cycle + 1
         self._last_fetch_line = -1
         self.mode = NORMAL
+        self._mode_issue = self._try_issue_normal
         self.checkpoint = None
         self.signature.clear()
         self.rally_active = False
@@ -738,25 +881,63 @@ class ICFPCore(CoreModel):
     # ------------------------------------------------------------------
     def _try_issue_simple_ra(self, entry: FetchEntry) -> str:
         dyn = entry.dyn
+        idx = dyn.index
+        cycle = self.cycle
         shadow = self._shadow_poison
-        poisoned = any(src in shadow for src in dyn.srcs) or bool(
-            any(self.main_rf.poison[src] for src in dyn.srcs)
-        )
-        for src in dyn.srcs:
-            if src not in shadow and self.reg_ready[src] > self.cycle:
-                self.stats.stalls.src_wait += 1
-                return STALLED
-        completion = self.cycle + 1
-        if not poisoned:
-            if not self.ports.available(dyn.opclass):
-                self.stats.stalls.port += 1
-                return STALLED
-            self.ports.acquire(dyn.opclass)
-            if dyn.opclass is OpClass.LOAD:
-                if dyn.addr in self._shadow_stores:
-                    completion = self.cycle + self.config.hierarchy.l1d.hit_latency
+        reg_ready = self.reg_ready
+        poison_of = self.main_rf.poison
+        poisoned = False
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            src = self._src0[idx]
+            if src in shadow:
+                poisoned = True
+            else:
+                if reg_ready[src] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if poison_of[src]:
+                    poisoned = True
+            if nsrc > 1:
+                src = self._src1[idx]
+                if src in shadow:
+                    poisoned = True
                 else:
-                    result = self.hierarchy.data_access(dyn.addr, self.cycle)
+                    if reg_ready[src] > cycle:
+                        self.stats.stalls.src_wait += 1
+                        return STALLED
+                    if poison_of[src]:
+                        poisoned = True
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        if src in shadow:
+                            poisoned = True
+                        else:
+                            if reg_ready[src] > cycle:
+                                self.stats.stalls.src_wait += 1
+                                return STALLED
+                            if poison_of[src]:
+                                poisoned = True
+        completion = cycle + 1
+        if not poisoned:
+            ports = self.ports
+            port_int = self._port_int[idx]
+            if port_int:
+                if ports.int_free <= 0:
+                    self.stats.stalls.port += 1
+                    return STALLED
+                ports.int_free -= 1
+            else:
+                if ports.mem_free <= 0:
+                    self.stats.stalls.port += 1
+                    return STALLED
+                ports.mem_free -= 1
+            kind = self._kind[idx]
+            if kind == KIND_LOAD:
+                if dyn.addr in self._shadow_stores:
+                    completion = cycle + self._l1d_hit_latency
+                else:
+                    result = self.hierarchy.data_access(dyn.addr, cycle)
                     if result.stalled:
                         return STALLED
                     self.record_miss(result)
@@ -764,17 +945,18 @@ class ICFPCore(CoreModel):
                         poisoned = True  # prefetch issued; poison the dest
                     else:
                         completion = result.ready_cycle
-            elif dyn.opclass is OpClass.STORE:
+            elif kind == KIND_STORE:
                 self._shadow_stores[dyn.addr] = dyn.store_val
             else:
-                completion = self.cycle + EXEC_LATENCY[dyn.opclass]
-        if dyn.dst is not None:
+                completion = cycle + self._exec_done[idx]
+        dst = dyn.dst
+        if dst is not None:
             if poisoned:
-                shadow.add(dyn.dst)
-                self.reg_ready[dyn.dst] = self.cycle
+                shadow.add(dst)
+                reg_ready[dst] = cycle
             else:
-                shadow.discard(dyn.dst)
-                self.reg_ready[dyn.dst] = completion
+                shadow.discard(dst)
+                reg_ready[dst] = completion
         if dyn.is_control:
             self.predictor.update(dyn)
             if not entry.predicted_ok and not poisoned:

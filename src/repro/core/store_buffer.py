@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardResult:
     """Outcome of a store-buffer lookup that found a matching store."""
 
@@ -182,6 +182,23 @@ class ChainedStoreBuffer:
 
     def _forward_indexed(self, addr: int, before_ssn: int | None):
         ssn = self._chain_table[self._hash(addr)]
+        if before_ssn is not None:
+            # Forward-progress guarantee for re-executing (rally) loads:
+            # stores *younger* than the load can neither forward to it
+            # nor alias-block it — program order already separates them.
+            # Skip them via the physical chain links to the youngest
+            # not-younger store before applying the indexed rule.
+            # Without this, a data-poisoned sliced store at the chain
+            # root alias-stalls the very loads its own data transitively
+            # depends on, and rally passes livelock (the ROADMAP
+            # `indexed`-kind divergence on store-heavy kernels).
+            while ssn > self.ssn_complete:
+                if ssn < before_ssn:
+                    break
+                entry = self._entries[ssn % self.capacity]
+                if entry.ssn != ssn:
+                    break  # stale pointer into a reused slot
+                ssn = entry.ssn_link
         if ssn <= self.ssn_complete:
             self.forward_misses += 1
             return None
@@ -189,11 +206,12 @@ class ChainedStoreBuffer:
         if entry.ssn != ssn:
             self.forward_misses += 1
             return None
-        if entry.addr == addr and (before_ssn is None or ssn < before_ssn):
+        if entry.addr == addr:
+            # `ssn < before_ssn` holds here by construction of the skip.
             self.forward_hits += 1
             return ForwardResult(entry.value, entry.poison, 0, ssn)
-        # Hash hit, address mismatch (or age conflict): cannot forward and
-        # cannot prove independence -> the pipeline must wait for a drain.
+        # Hash hit, address mismatch: cannot forward and cannot prove
+        # independence -> the pipeline must wait for a drain.
         return IndexedStall(ssn)
 
     # ------------------------------------------------------------------
@@ -227,16 +245,21 @@ class ChainedStoreBuffer:
             return True
         return False
 
-    def next_drain_event(self, cycle: int) -> int | None:
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Event-horizon contract: earliest cycle the head drain moves."""
         head_ssn = self.ssn_complete + 1
         if head_ssn >= self.ssn_tail:
             return None
         entry = self._entries[head_ssn % self.capacity]
         if entry.poison:
             return None  # woken by rally processing instead
-        if entry.drain_ready is None or entry.drain_ready <= cycle:
+        drain_ready = entry.drain_ready
+        if drain_ready is None or drain_ready <= cycle:
             return cycle + 1
-        return entry.drain_ready
+        return drain_ready
+
+    #: Backwards-compatible name from the pre-horizon engine.
+    next_drain_event = next_event_cycle
 
     # ------------------------------------------------------------------
     # squash

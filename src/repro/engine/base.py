@@ -1,4 +1,4 @@
-"""Cycle-level in-order core model.
+"""Cycle-level in-order core model with an event-horizon scheduler.
 
 :class:`CoreModel` is both the vanilla in-order baseline *and* the
 substrate the latency-tolerant models (Runahead, Multipass, SLTP, iCFP)
@@ -19,6 +19,27 @@ A vanilla in-order pipeline stalls at the first instruction that *uses*
 a missing load's result — not at the miss itself — which the scoreboard
 reproduces naturally; independent misses already overlap through the
 non-blocking hierarchy's MSHRs.
+
+Event-horizon scheduling
+------------------------
+The paper's headline scenario — hundreds of dead cycles under an
+all-level miss — is exactly the one a naive cycle loop is slowest at.
+Every stateful component therefore exposes a ``next_event_cycle()``
+*horizon*: the earliest future cycle at which its state can change
+(MSHR fills, store drains, the fetch-resume latch, scoreboard ready
+times, subclass mode events).  Whenever a stepped cycle makes no
+progress, :meth:`CoreModel._leap_to_horizon` jumps the clock directly
+to the minimum of those horizons instead of idling through the stall
+region one cycle at a time.  The leap fires only after a no-progress
+cycle, so per-cycle observables (issue order, stall attribution,
+fetch timestamps) are bit-identical to a cycle-by-cycle simulation —
+see ``tests/engine/test_idle_skip.py`` and the golden fixtures in
+``tests/engine/test_golden_regression.py``.
+
+The per-cycle phases index the trace's flat :class:`~repro.functional.
+trace.TraceHot` arrays (operands, port kinds, execute latencies, miss
+addresses) rather than chasing per-object attributes; the arrays are
+built once per trace and shared by every model that replays it.
 """
 
 from __future__ import annotations
@@ -26,8 +47,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..branch.predictor import BranchPredictor
-from ..functional.trace import DynInst, Trace
-from ..isa.instructions import EXEC_LATENCY, OpClass
+from ..functional.trace import DynInst, KIND_LOAD, KIND_STORE, Trace
 from ..isa.registers import NUM_REGS, ZERO_REG
 from ..memory.hierarchy import MemoryHierarchy, MemResult
 from ..pipeline.config import MachineConfig
@@ -91,7 +111,31 @@ class CoreModel:
         self.last_completion = 0
         self.returned_mshrs = []
         self._progress = False
-        if self.config.warm_icache or self.config.warm_dcache:
+
+        # Hot-loop bindings: flat per-trace arrays plus the config
+        # scalars the per-cycle phases touch, hoisted out of the
+        # object graph once per simulation.
+        cfg = self.config
+        hot = trace.hot
+        self._insts = trace.insts
+        self._trace_len = len(trace.insts)
+        self._kind = hot.kind
+        self._srcs = hot.srcs
+        self._nsrc = hot.nsrc
+        self._src0 = hot.src0
+        self._src1 = hot.src1
+        self._dst = hot.dst
+        self._exec_done = hot.exec_done
+        self._port_int = hot.port_int
+        self._width = cfg.width
+        self._fq_depth = cfg.fetch_queue_depth
+        self._frontend_depth = cfg.frontend_depth
+        self._l1i_line_bytes = cfg.hierarchy.l1i.line_bytes
+        self._iline = hot.iline(self._l1i_line_bytes)
+        self._l1d_hit_latency = cfg.hierarchy.l1d.hit_latency
+        self._max_cycles = cfg.max_cycles
+
+        if cfg.warm_icache or cfg.warm_dcache:
             # Snapshot reuse is only sound when the hierarchy started
             # empty, i.e. we built it ourselves just above.
             self._warm_hierarchy(reusable=hierarchy is None)
@@ -189,14 +233,20 @@ class CoreModel:
     # ==================================================================
     def run(self) -> SimResult:
         """Simulate to completion and return the result."""
-        max_cycles = self.config.max_cycles
-        while not self.done():
+        max_cycles = self._max_cycles
+        step_cycle = self.step_cycle
+        done = self.done
+        trace_len = self._trace_len
+        # `cursor >= len(trace)` is a necessary condition of every
+        # model's done() — pre-filtering it keeps the completion check
+        # out of the per-cycle loop until the run is actually draining.
+        while not (self.cursor >= trace_len and done()):
             if self.cycle > max_cycles:
                 raise SimulationDiverged(
                     f"{self.name}: exceeded {max_cycles} cycles "
-                    f"({self.stats.instructions}/{len(self.trace)} committed)"
+                    f"({self.stats.instructions}/{trace_len} committed)"
                 )
-            self.step_cycle()
+            step_cycle()
         self.stats.cycles = max(self.cycle, self.last_completion)
         self.stats.branch_mispredicts = self.predictor.mispredictions
         return SimResult(self.name, self.trace.program.name, self.stats)
@@ -214,11 +264,11 @@ class CoreModel:
             self._progress = True
         self.end_cycle()
         if not self._progress:
-            self._skip_idle_cycles()
+            self._leap_to_horizon()
 
     def done(self) -> bool:
         return (
-            self.cursor >= len(self.trace)
+            self.cursor >= self._trace_len
             and not self.fetch_queue
             and self.store_queue.empty
             and self.cycle >= self.last_completion
@@ -236,9 +286,13 @@ class CoreModel:
 
     def do_issue(self) -> None:
         """In-order issue of up to ``width`` instructions."""
-        self.ports.reset()
-        slots = self.config.width
+        ports = self.ports
+        ports.int_free = ports.int_capacity
+        ports.mem_free = ports.mem_capacity
         fetch_queue = self.fetch_queue
+        if not fetch_queue:
+            return
+        slots = self._width
         cycle = self.cycle
         try_issue = self.try_issue
         while slots > 0 and fetch_queue:
@@ -253,46 +307,71 @@ class CoreModel:
 
     def do_fetch(self) -> None:
         """Fetch up to ``width`` instructions through the I$."""
-        cfg = self.config
-        if self.fetch_blocked or self.cycle < self.fetch_resume_cycle:
+        cycle = self.cycle
+        if self.fetch_blocked or cycle < self.fetch_resume_cycle:
             return
+        cursor = self.cursor
+        trace_len = self._trace_len
+        if cursor >= trace_len:
+            return
+        fetch_queue = self.fetch_queue
+        room = self._fq_depth - len(fetch_queue)
+        if room <= 0:
+            return
+        width = self._width
+        limit = width if width < room else room
+        insts = self._insts
+        iline = self._iline
+        frontend_depth = self._frontend_depth
+        last_line = self._last_fetch_line
+        ifetch_ready = self._ifetch_ready
+        predictor_predict = self.predictor.predict
+        append = fetch_queue.append
+        new_entry = FetchEntry.__new__
         fetched = 0
-        line_bytes = cfg.hierarchy.l1i.line_bytes
-        while (
-            fetched < cfg.width
-            and len(self.fetch_queue) < cfg.fetch_queue_depth
-            and self.cursor < len(self.trace)
-        ):
-            dyn = self.trace[self.cursor]
-            line = dyn.pc // line_bytes
-            if line != self._last_fetch_line:
-                result = self.hierarchy.fetch_access(dyn.pc, self.cycle)
+        while fetched < limit and cursor < trace_len:
+            dyn = insts[cursor]
+            line = iline[cursor]
+            if line != last_line:
+                result = self.hierarchy.fetch_access(dyn.pc, cycle)
                 if result.stalled:
                     break
-                self._last_fetch_line = line
-                self._ifetch_ready = result.ready_cycle
+                last_line = line
+                ifetch_ready = result.ready_cycle
             # Pipelined front end: decode+reg-read after the (possibly
             # stale-line) I$ data returns, never less than the full
             # fetch-to-issue depth from this cycle.
-            decode_ready = max(self.cycle + cfg.frontend_depth,
-                               self._ifetch_ready + 2)
+            decode_ready = cycle + frontend_depth
+            data_ready = ifetch_ready + 2
+            if data_ready > decode_ready:
+                decode_ready = data_ready
             is_control = dyn.is_control
             predicted_ok = True
             if is_control:
-                predicted_ok = self.predictor.predict(dyn)
-            self.fetch_queue.append(FetchEntry(dyn, decode_ready, predicted_ok))
-            self.cursor += 1
+                predicted_ok = predictor_predict(dyn)
+            # Frame-free construction: this allocation runs once per
+            # fetched instruction across every model and replay.
+            entry = new_entry(FetchEntry)
+            entry.dyn = dyn
+            entry.decode_ready = decode_ready
+            entry.predicted_ok = predicted_ok
+            append(entry)
+            cursor += 1
             fetched += 1
-            self._progress = True
             if is_control and not predicted_ok:
                 # Wrong path from here: hold fetch until the branch resolves.
                 self.fetch_blocked = True
                 break
             if dyn.taken:
                 # Correctly predicted taken: one-cycle redirect bubble.
-                self.fetch_resume_cycle = self.cycle + 1
-                self._last_fetch_line = -1
+                self.fetch_resume_cycle = cycle + 1
+                last_line = -1
                 break
+        if fetched:
+            self._progress = True
+        self.cursor = cursor
+        self._last_fetch_line = last_line
+        self._ifetch_ready = ifetch_ready
 
     # ==================================================================
     # issue + execute
@@ -300,41 +379,72 @@ class CoreModel:
     def try_issue(self, entry: FetchEntry) -> str:
         """Attempt to issue the head instruction this cycle."""
         dyn = entry.dyn
-        stalls = self.stats.stalls
+        idx = dyn.index
         cycle = self.cycle
-        reg_ready = self.reg_ready
-        if not self.ports.available(dyn.opclass):
-            stalls.port += 1
-            return STALLED
-        for src in dyn.srcs:
-            if reg_ready[src] > cycle:
-                stalls.src_wait += 1
+        ports = self.ports
+        port_int = self._port_int[idx]
+        if port_int:
+            if ports.int_free <= 0:
+                self.stats.stalls.port += 1
                 return STALLED
-        dst = dyn.dst
+        elif ports.mem_free <= 0:
+            self.stats.stalls.port += 1
+            return STALLED
+        reg_ready = self.reg_ready
+        nsrc = self._nsrc[idx]
+        if nsrc:
+            if reg_ready[self._src0[idx]] > cycle:
+                self.stats.stalls.src_wait += 1
+                return STALLED
+            if nsrc > 1:
+                if reg_ready[self._src1[idx]] > cycle:
+                    self.stats.stalls.src_wait += 1
+                    return STALLED
+                if nsrc > 2:
+                    for src in self._srcs[idx][2:]:
+                        if reg_ready[src] > cycle:
+                            self.stats.stalls.src_wait += 1
+                            return STALLED
+        dst = self._dst[idx]
         if dst is not None and dst != ZERO_REG and reg_ready[dst] > cycle:
-            stalls.waw_wait += 1
+            self.stats.stalls.waw_wait += 1
             return STALLED
-        completion = self.execute(dyn, entry)
-        if completion is None:
-            return STALLED
-        self.ports.acquire(dyn.opclass)
+        kind = self._kind[idx]
+        if kind == KIND_LOAD:
+            completion = self.execute_load(dyn)
+            if completion is None:
+                return STALLED
+        elif kind == KIND_STORE:
+            completion = self.execute_store(dyn)
+            if completion is None:
+                return STALLED
+        else:
+            completion = cycle + self._exec_done[idx]
+        if port_int:
+            ports.int_free -= 1
+        else:
+            ports.mem_free -= 1
         self.commit(dyn, entry, completion)
         return ISSUED
 
     def execute(self, dyn: DynInst, entry: FetchEntry) -> int | None:
-        """Compute the completion cycle; None on a structural stall."""
-        opclass = dyn.opclass
-        if opclass is OpClass.LOAD:
+        """Compute the completion cycle; None on a structural stall.
+
+        Kept as a standalone hook for direct driving in tests; the hot
+        issue path dispatches on the flat ``kind`` array instead.
+        """
+        kind = self._kind[dyn.index]
+        if kind == KIND_LOAD:
             return self.execute_load(dyn)
-        if opclass is OpClass.STORE:
+        if kind == KIND_STORE:
             return self.execute_store(dyn)
-        return self.cycle + EXEC_LATENCY[opclass]
+        return self.cycle + self._exec_done[dyn.index]
 
     def execute_load(self, dyn: DynInst) -> int | None:
         hit = self.store_queue.forward(dyn.addr)
         if hit is not None:
             self.stats.store_forward_hits += 1
-            return self.cycle + self.config.hierarchy.l1d.hit_latency
+            return self.cycle + self._l1d_hit_latency
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self.stats.stalls.mshr_full += 1
@@ -351,15 +461,17 @@ class CoreModel:
 
     def commit(self, dyn: DynInst, entry: FetchEntry, completion: int) -> None:
         """Book-keeping for a successfully issued instruction."""
-        if dyn.dst is not None:
-            self.reg_ready[dyn.dst] = completion
-        self.stats.instructions += 1
+        dst = dyn.dst
+        if dst is not None:
+            self.reg_ready[dst] = completion
+        stats = self.stats
+        stats.instructions += 1
         if dyn.is_load:
-            self.stats.loads += 1
+            stats.loads += 1
         elif dyn.is_store:
-            self.stats.stores += 1
+            stats.stores += 1
         if dyn.is_branch:
-            self.stats.branches += 1
+            stats.branches += 1
         if dyn.is_control:
             self.resolve_control(dyn, entry, completion)
         if completion > self.last_completion:
@@ -376,53 +488,54 @@ class CoreModel:
 
     def record_miss(self, result: MemResult) -> None:
         """Fold one hierarchy access into miss/MLP statistics."""
+        stats = self.stats
         if result.level == "mshr":
-            self.stats.secondary_misses += 1
+            stats.secondary_misses += 1
         elif result.l1_miss:
-            self.stats.l1d_misses += 1
+            stats.l1d_misses += 1
         if result.l2_miss:
-            self.stats.l2_misses += 1
+            stats.l2_misses += 1
         if result.new_fill:
-            self.stats.d_mlp.add(self.cycle, result.ready_cycle)
+            stats.d_mlp.add(self.cycle, result.ready_cycle)
             if result.l2_miss:
-                self.stats.l2_mlp.add(self.cycle, result.ready_cycle)
+                stats.l2_mlp.add(self.cycle, result.ready_cycle)
 
     # ==================================================================
-    # idle-cycle skipping
+    # event-horizon leap
     # ==================================================================
-    def _skip_idle_cycles(self) -> None:
+    def _leap_to_horizon(self) -> None:
         """Jump the clock to the next cycle anything can happen.
 
         Pure optimisation: when a cycle makes no progress, every wake-up
-        source is a known future timestamp (operand ready times, fetch
-        redirect, store drain, MSHR fills, subclass events), so the loop
-        may fast-forward to the earliest of them.
+        source is a known future timestamp.  Each stateful component
+        exposes it through the ``next_event_cycle()`` contract (MSHR
+        files via the hierarchy, the store queue, subclass machinery via
+        :meth:`next_event_cycle`); the scoreboard and the fetch-resume
+        latch are folded in directly.  The clock leaps to the minimum.
         """
         # Track the earliest future wake-up incrementally — this runs on
         # every idle cycle, so no candidate list is materialised.
         cycle = self.cycle
         best = 0  # 0 = no future event found (cycle counts start at 1)
-        if self.fetch_queue:
-            c = self._head_wakeup(self.fetch_queue[0])
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            c = self._head_wakeup(fetch_queue[0])
             if c > cycle:
                 best = c
-        elif self.cursor < len(self.trace):
+        elif self.cursor < self._trace_len:
             if not self.fetch_blocked:
                 c = self.fetch_resume_cycle
                 if self._ifetch_ready > c:
                     c = self._ifetch_ready
                 if c > cycle:
                     best = c
-        c = self.store_queue.next_event(cycle)
+        c = self.store_queue.next_event_cycle(cycle)
         if c is not None and c > cycle and (not best or c < best):
             best = c
-        c = self.hierarchy.mshrs.next_ready_cycle()
+        c = self.hierarchy.next_event_cycle()
         if c is not None and c > cycle and (not best or c < best):
             best = c
-        c = self.hierarchy.ifetch_mshrs.next_ready_cycle()
-        if c is not None and c > cycle and (not best or c < best):
-            best = c
-        c = self.next_event_hint()
+        c = self.next_event_cycle()
         if c is not None and c > cycle and (not best or c < best):
             best = c
         c = self.last_completion
@@ -431,12 +544,13 @@ class CoreModel:
         if best > cycle + 1:
             self.cycle = best - 1  # the loop increments before phases
 
-    def next_event_hint(self) -> int | None:
-        """Subclass hook: earliest future cycle the subclass cares about."""
+    def next_event_cycle(self) -> int | None:
+        """Subclass horizon hook: earliest future cycle the subclass's
+        own machinery (mode timers, rally waits, gated drains) can act."""
         return None
 
     def _head_wakeup(self, entry: FetchEntry) -> int:
-        """Earliest cycle the queue head could issue (for idle skipping).
+        """Earliest cycle the queue head could issue (for the leap).
 
         The base model stalls on source *and* destination (WAW)
         readiness; latency-tolerant subclasses override this to match
@@ -445,9 +559,12 @@ class CoreModel:
         earliest = entry.decode_ready
         reg_ready = self.reg_ready
         for src in entry.dyn.srcs:
-            if reg_ready[src] > earliest:
-                earliest = reg_ready[src]
+            ready = reg_ready[src]
+            if ready > earliest:
+                earliest = ready
         dst = entry.dyn.dst
-        if dst is not None and dst != ZERO_REG and reg_ready[dst] > earliest:
-            earliest = reg_ready[dst]
+        if dst is not None and dst != ZERO_REG:
+            ready = reg_ready[dst]
+            if ready > earliest:
+                earliest = ready
         return earliest

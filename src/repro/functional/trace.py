@@ -6,12 +6,25 @@ traces: Runahead re-execution, Multipass passes, and iCFP rallies all
 revisit the same records.  Records carry values (operands, results,
 addresses) so that iCFP's merge and forwarding machinery can be checked
 for architectural correctness, not just timed.
+
+For the timing hot loops the trace also exposes :class:`TraceHot`: the
+per-instruction attributes consulted by ``do_issue``/``try_issue``
+flattened into parallel lists indexed by dynamic instruction number.
+The arrays are built once per trace and cached on it, so every model,
+sweep value, and rally pass that replays the (engine-cached) trace
+shares one set of flat lists instead of chasing Python objects.
 """
 
 from __future__ import annotations
 
-from ..isa.instructions import Instruction, OpClass
-from ..isa.program import Program
+from ..isa.instructions import EXEC_LATENCY, Instruction, OpClass
+
+#: Issue-kind codes in :attr:`TraceHot.kind` (small ints compare faster
+#: than enum members in the issue loops).
+KIND_OTHER = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+
 
 
 class DynInst:
@@ -38,6 +51,10 @@ class DynInst:
         Value written to memory for stores, else ``None``.
     taken / target_pc:
         Control-flow outcome for branches and jumps.
+    is_load / is_store / is_mem / is_branch / is_control:
+        Precomputed classification flags.  These are plain slot
+        attributes (not properties): the timing models read them
+        millions of times per simulation.
     """
 
     __slots__ = (
@@ -55,6 +72,11 @@ class DynInst:
         "store_val",
         "taken",
         "target_pc",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
+        "is_control",
     )
 
     def __init__(self, index: int, pc: int, inst: Instruction) -> None:
@@ -63,7 +85,8 @@ class DynInst:
         self.next_pc = pc + 4
         self.inst = inst
         self.op = inst.op
-        self.opclass = inst.opclass
+        opclass = inst.opclass
+        self.opclass = opclass
         self.srcs = inst.srcs
         self.dst = inst.dst
         self.src_vals: tuple = ()
@@ -72,32 +95,98 @@ class DynInst:
         self.store_val = None
         self.taken = False
         self.target_pc: int | None = None
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass is OpClass.BRANCH or self.opclass is OpClass.JUMP
+        is_load = opclass is OpClass.LOAD
+        is_store = opclass is OpClass.STORE
+        is_branch = opclass is OpClass.BRANCH
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_mem = is_load or is_store
+        self.is_branch = is_branch
+        self.is_control = is_branch or opclass is OpClass.JUMP
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = ""
         if self.addr is not None:
             extra = f" @{self.addr:#x}"
         return f"<DynInst #{self.index} pc={self.pc:#x} {self.inst}{extra}>"
+
+
+class TraceHot:
+    """Parallel per-instruction arrays for the timing-model issue loops.
+
+    One entry per dynamic instruction, indexed by ``DynInst.index``.
+    Every field the per-cycle paths consult repeatedly lives here as a
+    flat list, so the inner loops do a single indexed load instead of an
+    attribute chase per field.
+    """
+
+    __slots__ = ("kind", "srcs", "dst", "exec_done", "port_int",
+                 "is_control", "is_branch", "taken", "addr", "store_val",
+                 "pc", "nsrc", "src0", "src1", "_ilines")
+
+    def __init__(self, insts) -> None:
+        # Single source of truth for port classification: the pipeline's
+        # own table.  Local import: keeps repro.functional importable
+        # without the pipeline package (and any future cycles) at
+        # module-load time; this runs once per trace.
+        from ..pipeline.resources import INT_PORT, port_kind
+
+        n = len(insts)
+        self.kind = kind = [KIND_OTHER] * n
+        self.srcs = srcs = [()] * n
+        self.dst = dst = [None] * n
+        #: Execute latency for non-memory ops (memory timing comes from
+        #: the hierarchy / store buffers instead).
+        self.exec_done = exec_done = [1] * n
+        self.port_int = port_int = [False] * n
+        self.is_control = is_control = [False] * n
+        self.is_branch = is_branch = [False] * n
+        self.taken = taken = [False] * n
+        self.addr = addr = [None] * n
+        self.store_val = store_val = [None] * n
+        self.pc = pc = [0] * n
+        #: Unrolled source operands: the scoreboard loops run per issue
+        #: attempt, and almost every instruction has <= 2 sources, so the
+        #: hot paths check src0/src1 scalars and fall back to the full
+        #: tuple only for wider ops (see ``nsrc``).
+        self.nsrc = nsrc = [0] * n
+        self.src0 = src0 = [0] * n
+        self.src1 = src1 = [0] * n
+        #: I$ line index per instruction, keyed by line size (the one
+        #: config-dependent input); built on first use per geometry.
+        self._ilines: dict[int, list[int]] = {}
+        for i, dyn in enumerate(insts):
+            opclass = dyn.opclass
+            if dyn.is_load:
+                kind[i] = KIND_LOAD
+            elif dyn.is_store:
+                kind[i] = KIND_STORE
+            dyn_srcs = dyn.srcs
+            srcs[i] = dyn_srcs
+            count = len(dyn_srcs)
+            nsrc[i] = count
+            if count:
+                src0[i] = dyn_srcs[0]
+                if count > 1:
+                    src1[i] = dyn_srcs[1]
+            dst[i] = dyn.dst
+            exec_done[i] = EXEC_LATENCY[opclass]
+            port_int[i] = port_kind(opclass) == INT_PORT
+            is_control[i] = dyn.is_control
+            is_branch[i] = dyn.is_branch
+            taken[i] = dyn.taken
+            addr[i] = dyn.addr
+            store_val[i] = dyn.store_val
+            pc[i] = dyn.pc
+
+    def iline(self, line_bytes: int) -> list[int]:
+        """Per-instruction I$ line index at ``line_bytes`` granularity."""
+        lines = self._ilines.get(line_bytes)
+        if lines is None:
+            lines = self._ilines[line_bytes] = [
+                pc // line_bytes for pc in self.pc
+            ]
+        return lines
 
 
 class Trace:
@@ -117,11 +206,19 @@ class Trace:
         budget; False when the trace was truncated at the budget.
     """
 
-    def __init__(self, program: Program, insts, final_state, completed: bool) -> None:
+    def __init__(self, program, insts, final_state, completed: bool) -> None:
         self.program = program
         self.insts = insts
         self.final_state = final_state
         self.completed = completed
+        # Built at materialization: the records are final once the trace
+        # exists, and the engine's trace cache shares the arrays across
+        # every simulation of this trace.
+        self._hot = TraceHot(insts)
+        self._num_loads: int | None = None
+        self._num_stores: int | None = None
+        self._num_branches: int | None = None
+        self._footprints: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self.insts)
@@ -132,6 +229,16 @@ class Trace:
     def __iter__(self):
         return iter(self.insts)
 
+    @property
+    def hot(self) -> TraceHot:
+        """The flat issue-loop arrays (built once at materialization).
+
+        Timing models never mutate traces, so one array set serves every
+        core (and, through the engine's trace cache, every campaign
+        cell) that replays this trace.
+        """
+        return self._hot
+
     # ------------------------------------------------------------------
     # characterisation helpers (used by workload tuning tests/benches)
     # ------------------------------------------------------------------
@@ -140,17 +247,28 @@ class Trace:
 
     @property
     def num_loads(self) -> int:
-        return self.count(lambda d: d.is_load)
+        if self._num_loads is None:
+            self._num_loads = self.count(lambda d: d.is_load)
+        return self._num_loads
 
     @property
     def num_stores(self) -> int:
-        return self.count(lambda d: d.is_store)
+        if self._num_stores is None:
+            self._num_stores = self.count(lambda d: d.is_store)
+        return self._num_stores
 
     @property
     def num_branches(self) -> int:
-        return self.count(lambda d: d.is_branch)
+        if self._num_branches is None:
+            self._num_branches = self.count(lambda d: d.is_branch)
+        return self._num_branches
 
     def mem_footprint_lines(self, line_bytes: int = 64) -> int:
-        """Distinct cache lines touched by data accesses."""
-        lines = {d.addr // line_bytes for d in self.insts if d.addr is not None}
-        return len(lines)
+        """Distinct cache lines touched by data accesses (memoized —
+        sweeps ask per point, the answer never changes per trace)."""
+        cached = self._footprints.get(line_bytes)
+        if cached is None:
+            lines = {d.addr // line_bytes
+                     for d in self.insts if d.addr is not None}
+            cached = self._footprints[line_bytes] = len(lines)
+        return cached

@@ -41,15 +41,20 @@ class CacheConfig:
 class Cache:
     """One level of cache: an array of LRU-ordered sets of line tags.
 
-    Each set is a list of ``[line_addr, dirty]`` entries ordered
+    Each set is a list of ``(line_addr, dirty)`` tuples ordered
     most-recently-used first.  All methods take full line addresses
     (byte address // line size), which keeps the hierarchy honest about
     differing line sizes between levels.
+
+    Entries are immutable tuples (dirty-bit changes replace the entry):
+    snapshot export/load then only needs to copy the per-set lists, not
+    every entry — one core per campaign cell loads a warm snapshot, so
+    this is construction-critical.
     """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: list[list[list]] = [[] for _ in range(config.num_sets)]
+        self._sets: list[list[tuple]] = [[] for _ in range(config.num_sets)]
         #: Set-index mask, pre-computed: set selection is on the lookup
         #: fast path of every model, every cycle.
         self._set_mask = config.num_sets - 1
@@ -84,22 +89,25 @@ class Cache:
         way_list = self._sets[line_addr & self._set_mask]
         for i, entry in enumerate(way_list):
             if entry[0] == line_addr:
-                entry[1] = entry[1] or dirty
+                refreshed = (line_addr, entry[1] or dirty)
                 if i:
-                    way_list.insert(0, way_list.pop(i))
+                    way_list.pop(i)
+                    way_list.insert(0, refreshed)
+                else:
+                    way_list[0] = refreshed
                 return None
-        way_list.insert(0, [line_addr, dirty])
+        way_list.insert(0, (line_addr, dirty))
         if len(way_list) > self.config.assoc:
-            victim = way_list.pop()
-            return (victim[0], victim[1])
+            return way_list.pop()
         return None
 
     def mark_dirty(self, line_addr: int) -> bool:
         """Set the dirty bit of a present line; True if the line was found."""
         way_list = self._sets[line_addr & self._set_mask]
-        for entry in way_list:
+        for i, entry in enumerate(way_list):
             if entry[0] == line_addr:
-                entry[1] = True
+                if not entry[1]:
+                    way_list[i] = (line_addr, True)
                 return True
         return False
 
@@ -118,10 +126,13 @@ class Cache:
     # ------------------------------------------------------------------
     # tag-store snapshots (warm-state reuse across same-config cores)
     # ------------------------------------------------------------------
-    def export_sets(self) -> list[list[list]]:
-        """A deep copy of the tag store (lines + dirty bits + LRU order)."""
-        return [[entry.copy() for entry in way_list] for way_list in self._sets]
+    def export_sets(self) -> list[list[tuple]]:
+        """A copy of the tag store (lines + dirty bits + LRU order).
 
-    def load_sets(self, sets: list[list[list]]) -> None:
-        """Replace the tag store with a deep copy of ``sets``."""
-        self._sets = [[entry.copy() for entry in way_list] for way_list in sets]
+        Entries are immutable, so copying the way lists suffices.
+        """
+        return [way_list.copy() for way_list in self._sets]
+
+    def load_sets(self, sets: list[list[tuple]]) -> None:
+        """Replace the tag store with a copy of ``sets``."""
+        self._sets = [way_list.copy() for way_list in sets]

@@ -30,6 +30,10 @@ STREAM = "stream"
 MEMORY = "mem"
 STALL = "stall"  # no MSHR free; the access must retry
 
+#: Shared empty miss-return list for the (dominant) cycles where no fill
+#: completes.  Callers treat retire results as read-only.
+NO_MSHRS: list = []
+
 
 @dataclass(frozen=True)
 class HierarchyConfig:
@@ -59,7 +63,7 @@ class HierarchyConfig:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class MemResult:
     """Outcome of one hierarchy access.
 
@@ -114,27 +118,36 @@ class MemoryHierarchy:
         self.l1d_misses = 0
         self.l2_misses = 0
         self.secondary_misses = 0
+        # Hot-path scalars (data_access/fetch_access run per issue attempt).
+        self._l1d_line_bytes = cfg.l1d.line_bytes
+        self._l1i_line_bytes = cfg.l1i.line_bytes
+        self._l2_line_bytes = cfg.l2.line_bytes
+        self._l1d_lat = cfg.l1d.hit_latency
+        self._l1i_lat = cfg.l1i.hit_latency
+        self._l2_lat = cfg.l2.hit_latency
 
     # ------------------------------------------------------------------
     # data side
     # ------------------------------------------------------------------
     def data_access(self, addr: int, cycle: int, is_store: bool = False) -> MemResult:
         """Access the data side; returns timing plus miss classification."""
-        cfg = self.config
-        line = cfg.l1d.line_addr(addr)
-        lat = cfg.l1d.hit_latency
+        line = addr // self._l1d_line_bytes
+        lat = self._l1d_lat
         self.data_accesses += 1
 
-        pending = self.mshrs.get(line)
+        mshrs = self.mshrs
+        pending = mshrs._pending.get(line) if mshrs._pending else None
         if pending is not None and pending.ready_cycle > cycle:
             # Secondary miss: merges into the in-flight fill.  Counted
             # separately from fresh misses (Table 2 counts line fills).
-            self.mshrs.merge(line)
+            mshrs.merge(line)
             self.secondary_misses += 1
             if is_store:
                 self.l1d.mark_dirty(line)
+            ready = pending.ready_cycle
+            hit_ready = cycle + lat
             return MemResult(
-                ready_cycle=max(cycle + lat, pending.ready_cycle),
+                ready_cycle=hit_ready if hit_ready > ready else ready,
                 level=PENDING,
                 line_addr=line,
                 l1_miss=True,
@@ -154,13 +167,13 @@ class MemoryHierarchy:
 
         # L1 and victim missed: go to L2 (and below).  An MSHR is needed
         # for the L1 fill; if none is free the access must retry.
-        if self.mshrs.full:
-            self.mshrs.full_stalls += 1
+        if mshrs.full:
+            mshrs.full_stalls += 1
             return MemResult(cycle + 1, STALL, line)
 
         self.l1d_misses += 1
-        l2_line = cfg.l2.line_addr(addr)
-        l2_lat = cfg.l2.hit_latency
+        l2_line = addr // self._l2_line_bytes
+        l2_lat = self._l2_lat
 
         if self.l2.lookup(l2_line):
             ready = cycle + lat + l2_lat
@@ -197,25 +210,26 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def fetch_access(self, pc: int, cycle: int) -> MemResult:
         """Access the instruction side (L1I backed by the unified L2)."""
-        cfg = self.config
-        line = cfg.l1i.line_addr(pc)
-        lat = cfg.l1i.hit_latency
+        line = pc // self._l1i_line_bytes
+        lat = self._l1i_lat
 
-        pending = self.ifetch_mshrs.get(line)
+        ifetch_mshrs = self.ifetch_mshrs
+        pending = (ifetch_mshrs._pending.get(line)
+                   if ifetch_mshrs._pending else None)
         if pending is not None and pending.ready_cycle > cycle:
-            self.ifetch_mshrs.merge(line)
+            ifetch_mshrs.merge(line)
             return MemResult(max(cycle + lat, pending.ready_cycle), PENDING,
                              line, l1_miss=True, mshr=pending)
 
         if self.l1i.lookup(line):
             return MemResult(cycle + lat, L1, line)
 
-        if self.ifetch_mshrs.full:
+        if ifetch_mshrs.full:
             return MemResult(cycle + 1, STALL, line)
 
-        l2_line = cfg.l2.line_addr(pc)
+        l2_line = pc // self._l2_line_bytes
         if self.l2.lookup(l2_line):
-            ready = cycle + lat + cfg.l2.hit_latency
+            ready = cycle + lat + self._l2_lat
             level = L2
             l2_miss = False
         else:
@@ -241,9 +255,29 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def retire_mshrs(self, cycle: int) -> list[MSHR]:
         """Free data MSHRs whose fills completed; returns them (miss-return
-        events — the iCFP engine keys rally passes off this list)."""
-        self.ifetch_mshrs.retire_complete(cycle)
-        return self.mshrs.retire_complete(cycle)
+        events — the iCFP engine keys rally passes off this list).
+
+        Runs every stepped cycle, so the no-completion case short-circuits
+        on the MSHR files' cached horizons without entering them.
+        """
+        ifetch = self.ifetch_mshrs
+        if ifetch._next_ready is not None and cycle >= ifetch._next_ready:
+            ifetch.retire_complete(cycle)
+        data = self.mshrs
+        if data._next_ready is not None and cycle >= data._next_ready:
+            return data.retire_complete(cycle)
+        return NO_MSHRS
+
+    def next_event_cycle(self) -> int | None:
+        """The hierarchy's event horizon: the earliest cycle any pending
+        fill (data or instruction side) completes, or None when idle."""
+        data = self.mshrs._next_ready
+        ifetch = self.ifetch_mshrs._next_ready
+        if data is None:
+            return ifetch
+        if ifetch is None or data < ifetch:
+            return data
+        return ifetch
 
     def flush_line(self, addr: int) -> bool:
         """Invalidate the L1D line holding ``addr`` (SLTP speculative-line

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHR:
     """One outstanding line fill."""
 
@@ -36,13 +36,22 @@ class MSHRFull(Exception):
 
 @dataclass
 class MSHRFile:
-    """A bounded file of MSHRs indexed by line address."""
+    """A bounded file of MSHRs indexed by line address.
+
+    The file tracks its own *event horizon* — the earliest pending fill
+    time — incrementally, so the every-cycle retire sweep and the leap
+    engine's :meth:`next_event_cycle` probe are O(1) on the (dominant)
+    cycles where nothing completes.  ``ready_cycle`` is immutable after
+    allocation, which is what makes the cached minimum sound.
+    """
 
     capacity: int
     _pending: dict[int, MSHR] = field(default_factory=dict)
     allocations: int = 0
     merges: int = 0
     full_stalls: int = 0
+    #: Cached min(ready_cycle) over pending fills; None when empty.
+    _next_ready: int | None = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -67,6 +76,9 @@ class MSHRFile:
                     is_prefetch=is_prefetch, is_l2=is_l2)
         self._pending[line_addr] = mshr
         self.allocations += 1
+        next_ready = self._next_ready
+        if next_ready is None or ready_cycle < next_ready:
+            self._next_ready = ready_cycle
         return mshr
 
     def merge(self, line_addr: int) -> MSHR:
@@ -78,25 +90,29 @@ class MSHRFile:
 
     def retire_complete(self, cycle: int) -> list[MSHR]:
         """Remove and return all MSHRs whose fills completed by ``cycle``."""
-        if not self._pending:  # every-cycle fast path
-            return []
-        done = [m for m in self._pending.values() if m.ready_cycle <= cycle]
+        next_ready = self._next_ready
+        if next_ready is None or cycle < next_ready:
+            return []  # every-cycle fast path: nothing can have finished
+        pending = self._pending
+        done = [m for m in pending.values() if m.ready_cycle <= cycle]
         for mshr in done:
-            del self._pending[mshr.line_addr]
+            del pending[mshr.line_addr]
+        self._next_ready = (min(m.ready_cycle for m in pending.values())
+                            if pending else None)
         return done
 
     def pending(self) -> list[MSHR]:
         return list(self._pending.values())
 
-    def next_ready_cycle(self) -> int | None:
-        """Earliest pending fill time (idle-skip wake-up), or None.
+    def next_event_cycle(self) -> int | None:
+        """Earliest pending fill time (the file's event horizon), or None.
 
-        Unlike ``pending()`` this allocates no list — it sits on the
-        every-idle-cycle path of the core models.
+        O(1): the minimum is maintained incrementally by allocate/retire.
         """
-        if not self._pending:
-            return None
-        return min(m.ready_cycle for m in self._pending.values())
+        return self._next_ready
+
+    #: Backwards-compatible name from the pre-horizon engine.
+    next_ready_cycle = next_event_cycle
 
     def outstanding_demand(self, cycle: int) -> int:
         """Number of demand fills still in flight at ``cycle``."""

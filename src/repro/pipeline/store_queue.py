@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreQueueEntry:
     addr: int
     value: object
@@ -28,6 +28,9 @@ class StoreQueue:
     def __init__(self, entries: int) -> None:
         self.capacity = entries
         self._queue: deque[StoreQueueEntry] = deque()
+        #: addr -> resident-entry count; lets the (dominant) no-match
+        #: forward probes answer in O(1) instead of scanning the queue.
+        self._addr_counts: dict[int, int] = {}
         self.forward_hits = 0
         self.forward_misses = 0
 
@@ -47,15 +50,20 @@ class StoreQueue:
             raise OverflowError("store queue full")
         entry = StoreQueueEntry(addr, value, cycle)
         self._queue.append(entry)
+        counts = self._addr_counts
+        counts[addr] = counts.get(addr, 0) + 1
         return entry
 
     def forward(self, addr: int):
         """Youngest matching store's value, or None (associative search)."""
+        if addr not in self._addr_counts:
+            self.forward_misses += 1
+            return None
         for entry in reversed(self._queue):
             if entry.addr == addr:
                 self.forward_hits += 1
                 return entry
-        self.forward_misses += 1
+        self.forward_misses += 1  # pragma: no cover - index guarantees a hit
         return None
 
     # ------------------------------------------------------------------
@@ -84,6 +92,12 @@ class StoreQueue:
             if memory_image is not None:
                 memory_image[head.addr] = head.value
             self._queue.popleft()
+            counts = self._addr_counts
+            remaining = counts[head.addr] - 1
+            if remaining:
+                counts[head.addr] = remaining
+            else:
+                del counts[head.addr]
             return True
         return False
 
@@ -91,13 +105,22 @@ class StoreQueue:
         """Discard all entries (advance-mode squash); returns count."""
         dropped = len(self._queue)
         self._queue.clear()
+        self._addr_counts.clear()
         return dropped
 
-    def next_event(self, cycle: int) -> int | None:
-        """Earliest future cycle the head can make progress, if known."""
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Earliest future cycle the head can make progress, if known.
+
+        Part of the event-horizon contract: the leap engine jumps the
+        clock to the minimum of these across all stateful components.
+        """
         if not self._queue:
             return None
         head = self._queue[0]
-        if head.drain_ready is None or head.drain_ready <= cycle:
+        drain_ready = head.drain_ready
+        if drain_ready is None or drain_ready <= cycle:
             return cycle + 1
-        return head.drain_ready
+        return drain_ready
+
+    #: Backwards-compatible name from the pre-horizon engine.
+    next_event = next_event_cycle

@@ -1,8 +1,8 @@
-"""The idle-cycle fast-forward must be a pure optimisation.
+"""The event-horizon leap must be a pure optimisation.
 
-Every model's cycle count with skipping enabled must equal a
+Every model's cycle count with leaping enabled must equal a
 cycle-by-cycle simulation.  This is the load-bearing guard for the
-`_skip_idle_cycles` machinery (a skip past a wake-up event would change
+`_leap_to_horizon` machinery (a leap past a wake-up event would change
 reported performance, not just speed)."""
 
 import pytest
@@ -15,7 +15,8 @@ from repro.pipeline import MachineConfig
 
 
 def no_skip(core):
-    core._skip_idle_cycles = lambda: None
+    assert hasattr(core, "_leap_to_horizon")
+    core._leap_to_horizon = lambda: None
     return core
 
 

@@ -61,3 +61,37 @@ def test_src_vals_recorded():
     store = trace[3]
     assert store.src_vals == (0x2000, 3)  # (base, data)
     assert store.store_val == 3
+
+
+def test_counts_are_memoized():
+    trace = make_trace()
+    assert trace.num_loads == 2
+    # Cached: mutating the records must not change the memoized answer
+    # (traces are read-only to the timing models; this just proves the
+    # O(n) scan ran once).
+    assert trace._num_loads == 2
+    assert trace.num_loads == 2
+    assert trace.mem_footprint_lines(64) == trace.mem_footprint_lines(64)
+    assert 64 in trace._footprints
+
+
+def test_hot_arrays_mirror_records():
+    trace = make_trace()
+    hot = trace.hot
+    assert hot is trace.hot  # built once, cached
+    for dyn in trace:
+        i = dyn.index
+        assert hot.srcs[i] == dyn.srcs
+        assert hot.dst[i] == dyn.dst
+        assert hot.is_control[i] == dyn.is_control
+        assert hot.taken[i] == dyn.taken
+        assert hot.addr[i] == dyn.addr
+        assert hot.pc[i] == dyn.pc
+        assert hot.nsrc[i] == len(dyn.srcs)
+        if dyn.srcs:
+            assert hot.src0[i] == dyn.srcs[0]
+    kinds = [hot.kind[d.index] for d in trace]
+    assert kinds[2] == 1 and kinds[3] == 2  # ld, st
+    iline = hot.iline(64)
+    assert iline == [pc // 64 for pc in hot.pc]
+    assert hot.iline(64) is iline  # memoized per line size
