@@ -13,7 +13,7 @@ SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
 SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads
 
-.PHONY: test smoke smoke-campaign bench bench-throughput
+.PHONY: test smoke smoke-campaign bench bench-warm bench-throughput
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -24,7 +24,9 @@ test: smoke
 
 ## Fast end-to-end check: reduced budget, kernel subset.  Includes the
 ## golden-fixture regression tests (tests/engine/test_golden_regression.py),
-## which always simulate at their own pinned budget.
+## which always simulate at their own pinned budget, and the disk-store
+## round-trip tests (tests/exec/test_store.py) — every smoke run
+## exercises store put/get/corrupt-fallback against hermetic tmpdirs.
 smoke:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	REPRO_WORKLOADS=$(SMOKE_WORKLOADS) \
@@ -35,12 +37,21 @@ smoke-campaign:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
 
-## Campaign throughput (jobs=1 vs jobs=N) as machine-readable JSON,
-## plus the compact trend record (commit, jobs, grid, sims/sec).
+## Campaign throughput (jobs=1 vs jobs=N, plus disk-store cold/warm) as
+## machine-readable JSON, plus the compact trend record (schema v2:
+## commit, jobs, grid, sims/sec, store cold/warm + hit counts, env).
 ## BENCH_throughput.json at the repo root is the checked-in baseline;
 ## compare a fresh run against it to see the bench trajectory.
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py --output BENCH_throughput.json
+
+## Store-hot second-run benchmark: only the cold/warm store phase,
+## against a persistent store under .repro-cache/ — the first
+## invocation populates it, every later one measures a fully
+## incremental (store-hit) campaign from a fresh process.
+bench-warm:
+	$(PYTHON) benchmarks/bench_throughput.py --store-only \
+		--store-dir .repro-cache/bench
 
 ## Full throughput report only (no trend record).
 bench-throughput:

@@ -1,19 +1,28 @@
-"""Campaign throughput: the Figure 5 grid at jobs=1 vs jobs=N.
+"""Campaign throughput: the Figure 5 grid, engine speed vs cache power.
+
+Two measurements, separated so the trend record can tell them apart:
+
+* **engine speed** — jobs=1 vs jobs=N over the grid with every memo
+  tier off (``memo=False``): pure simulation throughput.
+* **store effectiveness** — a cold pass (empty disk store, results
+  flushed to it) vs a warm pass (RAM memo cleared, every cell loaded
+  back from the store): what an incremental re-run of a completed
+  campaign actually costs.  Hit counters are recorded alongside the
+  wall clocks, so a pre-populated store (``make bench-warm`` against a
+  persistent ``--store-dir``) is self-describing.
 
 Usable three ways:
 
 * ``python benchmarks/bench_throughput.py [--jobs N] [-n INSTR] [-w a,b]``
-  runs the full comparison and prints one machine-readable JSON object
-  (wall-clock, simulated instructions/sec, speedup) to stdout.
-* ``--output BENCH_throughput.json`` additionally writes a compact
-  trend record (schema: commit, jobs, grid, sims/sec) — ``make bench``
-  uses this, and the checked-in ``BENCH_throughput.json`` at the repo
-  root is the baseline the trajectory starts from.
-* under pytest it asserts the parallel run reproduces the sequential
-  results exactly, on a reduced grid.
-
-All paths bypass the result memo (``memo=False``) — this measures
-execution, not cache hits — but share traces the way any campaign does.
+  runs both measurements and prints one machine-readable JSON object.
+  ``--store-dir`` persists the store between invocations (second runs
+  are store-hot); ``--store-only`` skips the jobs=1-vs-N comparison.
+* ``--output BENCH_throughput.json`` additionally writes the compact
+  trend record (schema v2: commit, jobs, grid, sims/sec, store cold/warm
+  wall + hit counts, env) — ``make bench`` uses this, and the checked-in
+  ``BENCH_throughput.json`` at the repo root is the baseline.
+* under pytest it asserts the parallel run and the store-warm pass both
+  reproduce the sequential results exactly, on a reduced grid.
 """
 
 from __future__ import annotations
@@ -21,13 +30,16 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.exec import default_jobs, run_jobs  # noqa: E402
+from repro.exec import RESULT_CACHE, ResultStore, default_jobs, run_jobs  # noqa: E402
+from repro.exec.store import result_to_payload  # noqa: E402
 from repro.harness.experiment import (  # noqa: E402
     MODELS,
     ExperimentConfig,
@@ -63,30 +75,110 @@ def run_grid(jobs: int, config: ExperimentConfig, workloads) -> dict:
     }
 
 
+def run_store_phase(config: ExperimentConfig, workloads,
+                    store_dir: str | None = None) -> dict:
+    """Cold-vs-warm over the grid through the disk store.
+
+    Cold: RAM memo cleared, the store consulted and then flushed — for
+    an empty store this is full simulation plus record writes.  Warm:
+    RAM memo cleared again, same store — every cell must now load from
+    disk.  Both passes report the store's hit/miss/write counters, so a
+    pre-populated persistent store (where the "cold" pass is already
+    hot) reads honestly.
+    """
+    from repro.exec import TRACE_CACHE
+
+    ephemeral = store_dir is None
+    if ephemeral:
+        store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    store = ResultStore(store_dir)
+    specs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+
+    def timed_pass() -> dict:
+        RESULT_CACHE.clear()
+        counters = {name: getattr(store, name)
+                    for name in ("hits", "misses", "writes", "corrupt")}
+        start = time.perf_counter()
+        results = run_jobs(specs, workers=1, store=store)
+        wall = time.perf_counter() - start
+        return {
+            "wall_clock_s": round(wall, 4),
+            "store_hits": store.hits - counters["hits"],
+            "store_misses": store.misses - counters["misses"],
+            "store_writes": store.writes - counters["writes"],
+            "store_corrupt": store.corrupt - counters["corrupt"],
+            "memo_entries_after": len(RESULT_CACHE),
+            "payloads": [result_to_payload(r) for r in results],
+        }
+
+    cold = timed_pass()
+    warm = timed_pass()
+    identical = cold["payloads"] == warm["payloads"]
+    for side in (cold, warm):
+        del side["payloads"]  # bulky; the equality verdict is what matters
+    phase = {
+        "simulations": len(specs),
+        "store_dir_persistent": not ephemeral,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(cold["wall_clock_s"]
+                              / max(warm["wall_clock_s"], 1e-9), 2),
+        "warm_all_hits": warm["store_hits"] == len(specs),
+        "results_identical": identical,
+    }
+    if ephemeral:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return phase
+
+
 def campaign_throughput(parallel_jobs: int | None = None,
                         config: ExperimentConfig | None = None,
-                        workloads=None) -> dict:
-    """jobs=1 vs jobs=N over the Figure 5 grid, with an equality check."""
+                        workloads=None, store_dir: str | None = None,
+                        store_only: bool = False) -> dict:
+    """jobs=1 vs jobs=N plus cold-vs-warm store, with equality checks."""
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
     parallel_jobs = (parallel_jobs if parallel_jobs is not None
                      else max(2, default_jobs()))
-    sequential = run_grid(1, config, workloads)
-    parallel = run_grid(parallel_jobs, config, workloads)
-    report = {
-        "benchmark": "figure5_campaign_throughput",
-        "instructions_per_kernel": config.instructions,
-        "workloads": list(workloads),
-        "models": list(MODELS),
-        "cpu_count": os.cpu_count(),
-        "sequential": sequential,
-        "parallel": parallel,
-        "speedup": round(sequential["wall_clock_s"]
-                         / parallel["wall_clock_s"], 2),
-        "results_identical": sequential["cycles"] == parallel["cycles"],
-    }
-    for side in (sequential, parallel):
-        del side["cycles"]  # bulky; the equality verdict is what matters
+    # The environment's store must not leak into the measurements: the
+    # jobs=1/jobs=N passes are pure simulation (no memo tiers) and the
+    # store phase uses its own explicit store — but warm-hierarchy
+    # checkpoints resolve the env store inside core construction, so a
+    # dirty .repro-cache/ would make "cold" times differ between a
+    # clean and a warmed-up checkout, corrupting the trend record.
+    # Restored afterwards so importing callers keep their persistence.
+    prior_store_env = os.environ.get("REPRO_STORE")
+    os.environ["REPRO_STORE"] = "0"
+    try:
+        report = {
+            "benchmark": "figure5_campaign_throughput",
+            "instructions_per_kernel": config.instructions,
+            "workloads": list(workloads),
+            "models": list(MODELS),
+            "cpu_count": os.cpu_count(),
+            "repro_jobs_env": os.environ.get("REPRO_JOBS"),
+        }
+        if not store_only:
+            sequential = run_grid(1, config, workloads)
+            parallel = run_grid(parallel_jobs, config, workloads)
+            report.update({
+                "sequential": sequential,
+                "parallel": parallel,
+                "speedup": round(sequential["wall_clock_s"]
+                                 / parallel["wall_clock_s"], 2),
+                "results_identical":
+                    sequential["cycles"] == parallel["cycles"],
+            })
+            for side in (sequential, parallel):
+                del side["cycles"]  # bulky; the verdict is what matters
+        report["store"] = run_store_phase(config, workloads, store_dir)
+    finally:
+        if prior_store_env is None:
+            os.environ.pop("REPRO_STORE", None)
+        else:
+            os.environ["REPRO_STORE"] = prior_store_env
     return report
 
 
@@ -101,6 +193,10 @@ def test_campaign_throughput(once):
     assert report["results_identical"], "parallel run diverged from sequential"
     assert report["parallel"]["simulated_instructions"] == \
         report["sequential"]["simulated_instructions"]
+    store = report["store"]
+    assert store["results_identical"], "store-warm pass diverged from cold"
+    assert store["warm_all_hits"], "warm pass missed the disk store"
+    assert store["warm"]["store_writes"] == 0
 
 
 def git_commit() -> str:
@@ -118,14 +214,18 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema: commit, jobs, grid, sims/sec — enough for a dashboard to
-    plot the throughput trajectory across PRs without re-parsing the
-    full report.
+    Schema v2: commit, jobs, grid, sims/sec (engine speed), the store's
+    cold-vs-warm wall clocks with hit/miss/write counters (cache
+    effectiveness), and the environment (``REPRO_JOBS``, cpu count) —
+    enough for a dashboard to plot both trajectories across PRs, and to
+    tell an engine regression from a cache regression, without
+    re-parsing the full report.
     """
     sequential = report["sequential"]
     parallel = report["parallel"]
+    store = report["store"]
     return {
-        "schema": "bench_throughput/v1",
+        "schema": "bench_throughput/v2",
         "commit": git_commit(),
         "jobs": {"sequential": 1, "parallel": parallel["jobs"]},
         "grid": {
@@ -133,6 +233,10 @@ def bench_record(report: dict) -> dict:
             "workloads": report["workloads"],
             "instructions_per_kernel": report["instructions_per_kernel"],
             "simulations": sequential["simulations"],
+        },
+        "env": {
+            "repro_jobs": report["repro_jobs_env"],
+            "cpu_count": report["cpu_count"],
         },
         "sims_per_sec": {
             "jobs1": round(sequential["simulations"]
@@ -148,6 +252,17 @@ def bench_record(report: dict) -> dict:
             "jobs1": sequential["wall_clock_s"],
             "jobsN": parallel["wall_clock_s"],
         },
+        "store": {
+            "cold_wall_s": store["cold"]["wall_clock_s"],
+            "warm_wall_s": store["warm"]["wall_clock_s"],
+            "warm_speedup": store["warm_speedup"],
+            "cold_hits": store["cold"]["store_hits"],
+            "cold_misses": store["cold"]["store_misses"],
+            "cold_writes": store["cold"]["store_writes"],
+            "warm_hits": store["warm"]["store_hits"],
+            "warm_all_hits": store["warm_all_hits"],
+            "results_identical": store["results_identical"],
+        },
         "results_identical": report["results_identical"],
     }
 
@@ -162,7 +277,15 @@ def main(argv=None) -> int:
                         help="comma-separated kernel subset")
     parser.add_argument("-o", "--output", type=str, default=None,
                         help="also write the compact trend record "
-                             "(commit, jobs, grid, sims/sec) to this path")
+                             "(commit, jobs, grid, sims/sec, store) here")
+    parser.add_argument("--store-dir", type=str, default=None,
+                        help="persistent store directory for the cold/warm "
+                             "phase (default: ephemeral tmpdir; pass a path "
+                             "to make second invocations store-hot)")
+    parser.add_argument("--store-only", action="store_true",
+                        help="skip the jobs=1-vs-N comparison and measure "
+                             "only the store cold/warm phase "
+                             "(`make bench-warm`)")
     args = parser.parse_args(argv)
     config = ExperimentConfig()
     if args.instructions is not None:
@@ -171,14 +294,21 @@ def main(argv=None) -> int:
         config = dataclasses.replace(config, instructions=args.instructions)
     workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
                  if args.workloads else None)
-    report = campaign_throughput(args.jobs, config, workloads)
+    report = campaign_throughput(args.jobs, config, workloads,
+                                 store_dir=args.store_dir,
+                                 store_only=args.store_only)
     json.dump(report, sys.stdout, indent=2)
     print()
     if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(bench_record(report), handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"trend record written to {args.output}", file=sys.stderr)
+        if args.store_only:
+            print("--output needs the full run (drop --store-only); "
+                  "skipping trend record", file=sys.stderr)
+        else:
+            with open(args.output, "w") as handle:
+                json.dump(bench_record(report), handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"trend record written to {args.output}", file=sys.stderr)
     return 0
 
 

@@ -17,6 +17,13 @@ Budgets come from the environment:
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def hermetic_result_store(tmp_path, monkeypatch):
+    """Benchmarks must not read or pollute a developer's .repro-cache/."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -149,7 +149,19 @@ class CoreModel:
         produces the identical warm tag store.  The first core to warm a
         trace stashes copies of the I$/D$/L2 sets on the trace object;
         later cores load them instead of replaying the insert loop.
+
+        Checkpoints are also durable: when the disk store is enabled
+        (``REPRO_STORE`` / ``REPRO_CACHE_DIR``), the snapshot is keyed
+        by its own sub-fingerprint (program image digest + geometry +
+        warm flags) and shared across all five models *and across
+        runs* — a fresh process loads the checkpoint instead of
+        replaying warm-up at all.
         """
+        # Local import: repro.exec drives its jobs through cores, so a
+        # top-level import would be circular.
+        from ..exec.store import (default_store, warm_fingerprint,
+                                  warm_geometry_key)
+
         cfg = self.config
         hier = self.hierarchy
         if not reusable:
@@ -158,30 +170,33 @@ class CoreModel:
             if cfg.warm_dcache:
                 self._warm_dcache()
             return
-        # Key on tag-store geometry only: warm contents are line/set/assoc
-        # arithmetic over the program image, so e.g. Figure 6's latency
-        # sweep shares one snapshot across all L2 hit latencies.
-        def geom(c):
-            return (c.size_bytes, c.assoc, c.line_bytes)
-
-        h = cfg.hierarchy
-        key = (geom(h.l1i), geom(h.l1d), geom(h.l2),
-               cfg.warm_icache, cfg.warm_dcache)
+        key = warm_geometry_key(cfg)
         snapshots = getattr(self.trace, "warm_snapshots", None)
         if snapshots is None:
             snapshots = self.trace.warm_snapshots = {}
         snap = snapshots.get(key)
         if snap is None:
-            if cfg.warm_icache:
-                self._warm_icache()
-            if cfg.warm_dcache:
-                self._warm_dcache()
-            snapshots[key] = (hier.l1i.export_sets(), hier.l1d.export_sets(),
-                              hier.l2.export_sets())
-        else:
-            hier.l1i.load_sets(snap[0])
-            hier.l1d.load_sets(snap[1])
-            hier.l2.load_sets(snap[2])
+            disk = default_store()
+            sub_fp = (warm_fingerprint(self.trace.program, key)
+                      if disk is not None else None)
+            if disk is not None:
+                snap = disk.get_warm(sub_fp)
+                if snap is not None:
+                    snapshots[key] = snap
+            if snap is None:
+                if cfg.warm_icache:
+                    self._warm_icache()
+                if cfg.warm_dcache:
+                    self._warm_dcache()
+                snap = (hier.l1i.export_sets(), hier.l1d.export_sets(),
+                        hier.l2.export_sets())
+                snapshots[key] = snap
+                if disk is not None:
+                    disk.put_warm(sub_fp, snap)
+                return
+        hier.l1i.load_sets(snap[0])
+        hier.l1d.load_sets(snap[1])
+        hier.l2.load_sets(snap[2])
 
     def _warm_icache(self) -> None:
         """Pre-install the program's code lines in the L1I and L2."""

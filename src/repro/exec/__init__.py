@@ -7,10 +7,15 @@ executes them through one engine that
 
 * **fingerprints** each job deterministically (:mod:`.fingerprint`), so
   identical simulations are recognised across sweeps and figures;
-* **memoizes** at two levels (:mod:`.cache`): functional traces by
+* **memoizes** in-process (:mod:`.cache`): functional traces by
   ``(kernel, instructions)`` and :class:`~repro.engine.result.SimResult`
   by job fingerprint — the in-order baseline of a sweep runs once, not
   once per sweep value;
+* **persists** results across processes (:mod:`.store`): an on-disk,
+  content-addressed store under ``REPRO_CACHE_DIR`` (toggle with
+  ``REPRO_STORE`` / ``--store``/``--no-store``) makes every campaign
+  incremental — a repeated figure grid in a fresh process hits the
+  store for every cell it has seen before;
 * **parallelises** across a process pool (:mod:`.engine`), controlled by
   ``REPRO_JOBS`` / ``--jobs`` with a sequential in-process fallback at
   ``jobs=1``, and guarantees results identical to sequential execution
@@ -21,6 +26,14 @@ from .cache import RESULT_CACHE, TRACE_CACHE, ResultCache, TraceCache
 from .engine import default_jobs, parallel_map, run_jobs
 from .fingerprint import canonical, fingerprint
 from .job import SimJob
+from .store import (
+    ENGINE_VERSION,
+    STORE_SCHEMA,
+    ResultStore,
+    default_store,
+    resolve_store,
+    store_enabled,
+)
 
 __all__ = [
     "SimJob",
@@ -33,4 +46,10 @@ __all__ = [
     "ResultCache",
     "TRACE_CACHE",
     "RESULT_CACHE",
+    "ResultStore",
+    "default_store",
+    "resolve_store",
+    "store_enabled",
+    "STORE_SCHEMA",
+    "ENGINE_VERSION",
 ]

@@ -1,4 +1,8 @@
-"""The engine's two memoization levels.
+"""The engine's in-process memoization levels.
+
+These are the first two tiers of the three-tier lookup path
+(RAM memo -> disk store -> compute); the durable third tier lives in
+:mod:`repro.exec.store`.
 
 :class:`TraceCache`
     Functional traces keyed by ``(kernel, instructions)``.  Trace

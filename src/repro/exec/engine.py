@@ -3,8 +3,17 @@
 ``run_jobs`` is the one entry point the harness uses.  It guarantees
 results identical to sequential execution: a simulation is a
 deterministic function of its :class:`~repro.exec.job.SimJob` spec, so
-where the result is computed (this process, a pooled worker, or an
-earlier call via the memo) cannot change it.
+where the result is computed (this process, a pooled worker, an earlier
+call via the memo, or an earlier *run* via the disk store) cannot
+change it.
+
+Each fresh fingerprint resolves through three tiers:
+
+1. RAM memo (:data:`~repro.exec.cache.RESULT_CACHE`),
+2. disk store (:mod:`~repro.exec.store`, ``REPRO_CACHE_DIR``) — batched
+   load before the pool, batched flush after it, so the per-job cost is
+   one lookup per fresh fingerprint,
+3. compute (the pool, or in-process at ``jobs=1``).
 
 Worker count resolution, everywhere in the engine:
 
@@ -82,17 +91,27 @@ def _pool_map(fn, items: list, workers: int) -> list:
         return list(pool.map(fn, items, chunksize=chunksize))
 
 
-def run_jobs(jobs, *, workers: int | None = None, memo: bool = True) -> list:
+def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
+             store=None) -> list:
     """Execute ``jobs`` (SimJobs); results in input order.
 
     Fingerprint-identical jobs execute once, whether the duplicate is in
-    this batch or already in the :data:`~repro.exec.cache.RESULT_CACHE`
-    from an earlier campaign.  ``memo=False`` bypasses the cross-call
-    memo entirely (benchmarks measuring raw throughput use it) but still
-    dedupes within the batch.
+    this batch, in the :data:`~repro.exec.cache.RESULT_CACHE` from an
+    earlier campaign, or in the on-disk store from an earlier *process*.
+    ``memo=False`` bypasses both cross-call tiers entirely (benchmarks
+    measuring raw throughput use it) but still dedupes within the batch.
+
+    ``store`` selects the disk tier: ``None`` resolves it from the
+    environment (``REPRO_STORE`` / ``REPRO_CACHE_DIR``; off when
+    ``memo=False``), ``False`` disables it, and an explicit
+    :class:`~repro.exec.store.ResultStore` forces one (benchmarks pass
+    hermetic temp stores this way, with any ``memo`` setting).
     """
+    from .store import resolve_store
+
     jobs = list(jobs)
     workers = workers if workers is not None else default_jobs()
+    disk = None if (store is None and not memo) else resolve_store(store)
     results: list = [None] * len(jobs)
     positions: dict[str, list[int]] = {}
     fresh: list = []
@@ -108,6 +127,24 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True) -> list:
         else:
             positions[key] = [i]
             fresh.append(job)
+    if fresh and disk is not None:
+        # Batched disk tier: one lookup per fresh fingerprint, before
+        # any pool spins up.  Hits feed the RAM memo so the rest of the
+        # process never touches the disk for them again.
+        loaded = disk.get_results([job.fingerprint for job in fresh])
+        if loaded:
+            missing = []
+            for job in fresh:
+                key = job.fingerprint
+                result = loaded.get(key)
+                if result is None:
+                    missing.append(job)
+                    continue
+                if memo:
+                    RESULT_CACHE.put(key, result)
+                for i in positions[key]:
+                    results[i] = result
+            fresh = missing
     if fresh:
         if workers > 1 and len(fresh) > 1:
             _prewarm_traces(fresh)
@@ -120,6 +157,13 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True) -> list:
                 RESULT_CACHE.put(key, result)
             for i in positions[key]:
                 results[i] = result
+        if disk is not None:
+            # Batched flush: newly computed cells become durable for the
+            # next process in one pass.
+            disk.put_results((job.fingerprint, result)
+                             for job, result in zip(fresh, computed))
+    if disk is not None:
+        disk.flush_counters()
     return results
 
 

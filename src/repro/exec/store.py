@@ -1,0 +1,516 @@
+"""On-disk, content-addressed result store — the third memo tier.
+
+The in-process caches (:mod:`.cache`) die with the process, so every
+CLI invocation, ``make bench``, and CI run used to re-simulate the full
+grid from zero.  This module makes results *durable*: a directory of
+JSON records under ``REPRO_CACHE_DIR`` (default ``.repro-cache/``),
+keyed by the engine's existing sha256 job fingerprint.  The full lookup
+path for a campaign cell is then
+
+    RAM memo (:data:`~repro.exec.cache.RESULT_CACHE`)
+      -> disk store (this module)
+        -> compute (simulate)
+
+so a repeated or overlapping campaign pays only for the cells it has
+never seen, in any process, ever.
+
+Keying and invalidation
+-----------------------
+Records live under ``<root>/v<STORE_SCHEMA>/<ENGINE_VERSION>/<section>/
+<fp[:2]>/<fp>.json``.  Three things name a record:
+
+* the **job fingerprint** — the deterministic sha256 of the job spec
+  (:mod:`.fingerprint`); equal fingerprints mean equal results;
+* the **store schema** (:data:`STORE_SCHEMA`) — the record layout; bump
+  it when the serialised form changes;
+* the **engine version** (:data:`ENGINE_VERSION`) — the simulator's
+  timing semantics; bump it in the same commit that regenerates the
+  golden fixtures (``tests/engine/golden_stats.json``), so records from
+  an older engine become invisible rather than wrong.
+
+A version bump simply changes the directory: stale records are never
+read, and ``repro cache gc`` deletes them.
+
+Concurrency
+-----------
+Writes go to a same-directory temp file followed by :func:`os.replace`,
+so pooled workers and concurrent CLI runs can share one store — readers
+see either the old record, the new record, or (before first write)
+nothing, never a torn file.  Unreadable or truncated records count as
+``corrupt``, are discarded, and fall back to recomputation.
+
+Sections
+--------
+``results``
+    :class:`~repro.engine.result.SimResult` records (every recorded
+    statistic round-trips exactly — see :func:`result_to_payload`).
+``warm``
+    Warm-hierarchy tag-store checkpoints, keyed by
+    :func:`warm_fingerprint` — the warmed I$/D$/L2 state for a
+    ``(program image, geometry, warm flags)`` cell is computed once and
+    shared across all five models *and across runs*.
+``scenarios``
+    Figure 1 micro-scenario cycle dictionaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import fields as dataclass_fields
+
+from ..engine.result import SimResult
+from ..pipeline.stats import CoreStats, MLPMeter, StallBreakdown
+from .fingerprint import fingerprint
+
+#: Record-layout version: bump when the serialised form changes.
+STORE_SCHEMA = 1
+
+#: Timing-semantics tag ("eh2" = the PR 2 event-horizon engine).  Bump
+#: in the same commit that regenerates tests/engine/golden_stats.json.
+ENGINE_VERSION = "eh2"
+
+#: ``REPRO_STORE`` values that disable the store (anything else is on).
+_FALSEY = frozenset(("0", "false", "no", "off"))
+
+_SECTIONS = ("results", "warm", "scenarios")
+
+
+def store_enabled() -> bool:
+    """Is the disk store on?  ``REPRO_STORE`` (default on)."""
+    return os.environ.get("REPRO_STORE", "").strip().lower() not in _FALSEY
+
+
+def cache_dir() -> str:
+    """Store root: ``REPRO_CACHE_DIR``, default ``.repro-cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+
+
+# ----------------------------------------------------------------------
+# SimResult <-> JSON payload
+# ----------------------------------------------------------------------
+#: Every scalar counter CoreStats records — derived from the dataclass
+#: itself so a counter added later is serialised automatically (old
+#: records then fail the round-trip shape check and recompute, rather
+#: than silently dropping the new field).
+_COMPOUND_STATS = ("stalls", "d_mlp", "l2_mlp")
+_STAT_SCALARS = tuple(f.name for f in dataclass_fields(CoreStats)
+                      if f.name not in _COMPOUND_STATS)
+_STALL_FIELDS = tuple(f.name for f in dataclass_fields(StallBreakdown))
+
+
+def result_to_payload(result: SimResult) -> dict:
+    """Serialise a SimResult so the round trip is *exact*.
+
+    MLP meters keep their raw fill intervals (not the derived average),
+    so ``count``/``average()`` on a store-hit result compute on the very
+    same integers a fresh simulation would produce.
+    """
+    stats = result.stats
+    payload = {name: getattr(stats, name) for name in _STAT_SCALARS}
+    payload["stalls"] = {name: getattr(stats.stalls, name)
+                         for name in _STALL_FIELDS}
+    payload["d_mlp"] = [list(iv) for iv in stats.d_mlp._intervals]
+    payload["l2_mlp"] = [list(iv) for iv in stats.l2_mlp._intervals]
+    return {"model": result.model, "workload": result.workload,
+            "stats": payload}
+
+
+def payload_to_result(payload: dict) -> SimResult:
+    """Rebuild a SimResult from :func:`result_to_payload` output.
+
+    Raises on any shape mismatch — callers treat that as a corrupt
+    record and fall back to recomputation.
+    """
+    raw = payload["stats"]
+    stats = CoreStats(**{name: int(raw[name]) for name in _STAT_SCALARS})
+    stats.stalls = StallBreakdown(**{name: int(raw["stalls"][name])
+                                     for name in _STALL_FIELDS})
+    for meter_name in ("d_mlp", "l2_mlp"):
+        meter = MLPMeter()
+        meter._intervals = [(int(start), int(end))
+                            for start, end in raw[meter_name]]
+        setattr(stats, meter_name, meter)
+    return SimResult(model=str(payload["model"]),
+                     workload=str(payload["workload"]), stats=stats)
+
+
+# ----------------------------------------------------------------------
+# warm-hierarchy checkpoints
+# ----------------------------------------------------------------------
+def program_image_digest(program) -> str:
+    """Content digest of everything warm-up reads from a program.
+
+    Warm tag stores are a pure function of the code size, the data
+    image, the declared hot region, and the cache geometry; the first
+    three live here (memoized on the program object — kernels are built
+    once per process), the geometry joins in :func:`warm_fingerprint`.
+    """
+    digest = getattr(program, "_warm_image_digest", None)
+    if digest is None:
+        digest = fingerprint(program.name, len(program.instructions),
+                             program.data, program.hot_region)
+        program._warm_image_digest = digest
+    return digest
+
+
+def warm_geometry_key(machine_config) -> tuple:
+    """The warm-relevant subset of a machine config.
+
+    Tag-store geometry plus the warm flags — nothing else: warm
+    contents are line/set/assoc arithmetic over the program image, so
+    e.g. Figure 6's latency sweep shares one checkpoint across all L2
+    hit latencies.  Single source of truth for both the engine's
+    snapshot reuse and the golden fingerprint fixtures (drift here must
+    fail tier-1, not silently cold-start every checkpoint).
+    """
+    def geom(c):
+        return (c.size_bytes, c.assoc, c.line_bytes)
+
+    h = machine_config.hierarchy
+    return (geom(h.l1i), geom(h.l1d), geom(h.l2),
+            machine_config.warm_icache, machine_config.warm_dcache)
+
+
+def warm_fingerprint(program, geometry_key) -> str:
+    """Disk key of one warm checkpoint: image digest + geometry/flags."""
+    return fingerprint("warm", program_image_digest(program), geometry_key)
+
+
+def _sets_to_payload(sets) -> list:
+    return [[list(entry) for entry in way_list] for way_list in sets]
+
+
+def _payload_to_sets(payload) -> list:
+    # Tag entries must come back as immutable (line, dirty) tuples —
+    # Cache.load_sets shares them, never copies them entry-by-entry.
+    return [[(int(line), bool(dirty)) for line, dirty in way_list]
+            for way_list in payload]
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """One on-disk store rooted at ``root``.
+
+    All reads tolerate a missing, foreign, or damaged store: a failed
+    lookup is a miss (or ``corrupt``), never an exception on the
+    campaign path.  All writes are atomic (tmp file + rename) and
+    best-effort — a read-only filesystem degrades to compute-only.
+    """
+
+    def __init__(self, root: str, *, schema: int = STORE_SCHEMA,
+                 engine_version: str = ENGINE_VERSION) -> None:
+        self.root = root
+        self.schema = schema
+        self.engine_version = engine_version
+        self.version_dir = os.path.join(root, f"v{schema}", engine_version)
+        # Session counters (this process, this instance).
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self._flushed = {"hits": 0, "misses": 0, "corrupt": 0, "writes": 0}
+
+    # -- paths ----------------------------------------------------------
+    def _record_path(self, section: str, fp: str) -> str:
+        return os.path.join(self.version_dir, section, fp[:2], fp + ".json")
+
+    # -- generic JSON records ------------------------------------------
+    def get_json(self, section: str, fp: str):
+        """The ``payload`` of record ``fp`` in ``section``, or ``None``."""
+        path = self._record_path(section, fp)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+            if (record["fingerprint"] != fp
+                    or record["schema"] != self.schema
+                    or record["engine"] != self.engine_version):
+                raise ValueError("record/key mismatch")
+            payload = record["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated write, damaged file, or wrong shape: discard so
+            # the recomputed record can take its place.
+            self.corrupt += 1
+            self._discard(path)
+            return None
+        self.hits += 1
+        return payload
+
+    def put_json(self, section: str, fp: str, payload) -> bool:
+        """Atomically write one record; False when the store is unwritable."""
+        record = {"schema": self.schema, "engine": self.engine_version,
+                  "fingerprint": fp, "created": time.time(),
+                  "payload": payload}
+        if not self._atomic_write_json(self._record_path(section, fp), record):
+            return False
+        self.writes += 1
+        return True
+
+    def _atomic_write_json(self, path: str, obj) -> bool:
+        """Same-directory tmp file + rename; False on any OSError."""
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(obj, handle, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                self._discard(tmp)
+                raise
+        except OSError:
+            return False
+        return True
+
+    def _corrupt_record(self, section: str, fp: str, *, was_hit: bool) -> None:
+        """Count and discard a damaged record so a rewrite can land."""
+        if was_hit:
+            self.hits -= 1
+        self.corrupt += 1
+        self._discard(self._record_path(section, fp))
+
+    @staticmethod
+    def _discard(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- SimResults (the campaign tier) --------------------------------
+    def get_result(self, fp: str) -> SimResult | None:
+        payload = self.get_json("results", fp)
+        if payload is None:
+            return None
+        try:
+            return payload_to_result(payload)
+        except (KeyError, TypeError, ValueError):
+            self._corrupt_record("results", fp, was_hit=True)
+            return None
+
+    def get_results(self, fps) -> dict[str, SimResult]:
+        """Batched load: one lookup per fingerprint, hits only."""
+        loaded: dict[str, SimResult] = {}
+        for fp in fps:
+            result = self.get_result(fp)
+            if result is not None:
+                loaded[fp] = result
+        return loaded
+
+    def put_result(self, fp: str, result: SimResult) -> bool:
+        return self.put_json("results", fp, result_to_payload(result))
+
+    def put_results(self, pairs) -> None:
+        """Batched flush (the engine calls this once per pool batch)."""
+        for fp, result in pairs:
+            if not self.put_result(fp, result):
+                return  # unwritable store: don't retry per record
+
+    # -- warm-hierarchy checkpoints ------------------------------------
+    def get_warm(self, fp: str):
+        """A warm ``(l1i, l1d, l2)`` tag-store triple, or ``None``."""
+        payload = self.get_json("warm", fp)
+        if payload is None:
+            return None
+        try:
+            return tuple(_payload_to_sets(payload[level])
+                         for level in ("l1i", "l1d", "l2"))
+        except (KeyError, TypeError, ValueError):
+            self._corrupt_record("warm", fp, was_hit=True)
+            return None
+
+    def put_warm(self, fp: str, snapshot) -> bool:
+        l1i, l1d, l2 = snapshot
+        return self.put_json("warm", fp, {"l1i": _sets_to_payload(l1i),
+                                          "l1d": _sets_to_payload(l1d),
+                                          "l2": _sets_to_payload(l2)})
+
+    # -- lifetime counters ---------------------------------------------
+    def _counters_path(self) -> str:
+        return os.path.join(self.root, "counters.json")
+
+    def flush_counters(self) -> None:
+        """Fold this session's counter deltas into ``counters.json``.
+
+        Best-effort and racy by design (concurrent flushes may drop
+        increments): the lifetime numbers feed ``repro cache stats``
+        diagnostics, not correctness.
+        """
+        deltas = {name: getattr(self, name) - self._flushed[name]
+                  for name in self._flushed}
+        if not any(deltas.values()):
+            return
+        totals = self.read_counters()
+        for name, delta in deltas.items():
+            totals[name] = totals.get(name, 0) + delta
+        if not self._atomic_write_json(self._counters_path(), totals):
+            return
+        for name in self._flushed:
+            self._flushed[name] = getattr(self, name)
+
+    def read_counters(self) -> dict:
+        try:
+            with open(self._counters_path(), encoding="utf-8") as handle:
+                totals = json.load(handle)
+            return {str(k): int(v) for k, v in totals.items()}
+        except (OSError, ValueError, TypeError):
+            return {}
+
+    # -- maintenance (the `repro cache` subcommand) --------------------
+    def _iter_record_paths(self, version_dir: str):
+        for section in _SECTIONS:
+            section_dir = os.path.join(version_dir, section)
+            if not os.path.isdir(section_dir):
+                continue
+            for shard in sorted(os.listdir(section_dir)):
+                shard_dir = os.path.join(section_dir, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in sorted(os.listdir(shard_dir)):
+                    if name.endswith(".json"):
+                        yield section, os.path.join(shard_dir, name)
+
+    def _version_dirs(self):
+        """All ``(vN, engine)`` directories present under the root."""
+        try:
+            versions = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for vname in versions:
+            vdir = os.path.join(self.root, vname)
+            if not (vname.startswith("v") and os.path.isdir(vdir)):
+                continue
+            try:
+                engines = sorted(os.listdir(vdir))
+            except OSError:
+                continue
+            for ename in engines:
+                edir = os.path.join(vdir, ename)
+                if os.path.isdir(edir):
+                    yield vname, ename, edir
+
+    def stats(self) -> dict:
+        """Entries and bytes per section, plus stale-version totals."""
+        sections = {name: {"entries": 0, "bytes": 0} for name in _SECTIONS}
+        stale = {"entries": 0, "bytes": 0}
+        for vname, ename, edir in self._version_dirs():
+            current = (vname == f"v{self.schema}"
+                       and ename == self.engine_version)
+            for section, path in self._iter_record_paths(edir):
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    continue
+                bucket = sections[section] if current else stale
+                bucket["entries"] += 1
+                bucket["bytes"] += size
+        return {
+            "root": os.path.abspath(self.root),
+            "schema": self.schema,
+            "engine": self.engine_version,
+            "sections": sections,
+            "entries": sum(s["entries"] for s in sections.values()),
+            "bytes": sum(s["bytes"] for s in sections.values()),
+            "stale": stale,
+            "lifetime": self.read_counters(),
+        }
+
+    def clear(self) -> int:
+        """Delete every record (all schemas/engines); removed file count.
+
+        Only store-owned entries (``v*`` version trees and the counters
+        sidecar) are touched, so a mis-pointed ``REPRO_CACHE_DIR`` can
+        not take unrelated files with it.
+        """
+        removed = 0
+        for _vname, _ename, edir in list(self._version_dirs()):
+            removed += sum(1 for _ in self._iter_record_paths(edir))
+        for vname in list(os.listdir(self.root)) if os.path.isdir(self.root) else []:
+            if vname.startswith("v") and os.path.isdir(os.path.join(self.root, vname)):
+                shutil.rmtree(os.path.join(self.root, vname),
+                              ignore_errors=True)
+        self._discard(self._counters_path())
+        try:
+            os.rmdir(self.root)
+        except OSError:
+            pass
+        return removed
+
+    def gc(self, older_than_days: float) -> dict:
+        """Remove stale-version trees and current records past their age.
+
+        ``older_than_days`` applies (by mtime) to records of the current
+        schema/engine; records written by any *other* schema or engine
+        version are unreachable garbage and go unconditionally.
+        """
+        cutoff = time.time() - older_than_days * 86400.0
+        removed = {"stale": 0, "expired": 0}
+        for vname, ename, edir in list(self._version_dirs()):
+            if vname == f"v{self.schema}" and ename == self.engine_version:
+                for _section, path in list(self._iter_record_paths(edir)):
+                    try:
+                        if os.path.getmtime(path) < cutoff:
+                            os.unlink(path)
+                            removed["expired"] += 1
+                    except OSError:
+                        continue
+                continue
+            removed["stale"] += sum(1 for _ in self._iter_record_paths(edir))
+            shutil.rmtree(edir, ignore_errors=True)
+        # Prune directories the removals emptied — but only inside the
+        # store-owned v* trees: a mis-pointed REPRO_CACHE_DIR must not
+        # lose unrelated (empty) directories to gc.
+        for vname in sorted(os.listdir(self.root)) if os.path.isdir(self.root) else []:
+            vdir = os.path.join(self.root, vname)
+            if not (vname.startswith("v") and os.path.isdir(vdir)):
+                continue
+            for parent, dirnames, filenames in os.walk(vdir, topdown=False):
+                if not dirnames and not filenames:
+                    try:
+                        os.rmdir(parent)
+                    except OSError:
+                        pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# the process-wide store (resolved from the environment)
+# ----------------------------------------------------------------------
+_ACTIVE: dict[str, ResultStore] = {}
+
+
+def default_store() -> ResultStore | None:
+    """The environment's store, or ``None`` when disabled.
+
+    One instance per resolved root, so session counters survive across
+    campaigns while tests that repoint ``REPRO_CACHE_DIR`` get a fresh,
+    hermetic instance.
+    """
+    if not store_enabled():
+        return None
+    root = os.path.abspath(cache_dir())
+    store = _ACTIVE.get(root)
+    if store is None:
+        store = _ACTIVE[root] = ResultStore(root)
+    return store
+
+
+def resolve_store(store) -> ResultStore | None:
+    """Normalise a ``store=`` argument used across the harness layers.
+
+    ``None``/``True`` -> the environment's store (:func:`default_store`),
+    ``False`` -> no store, a :class:`ResultStore` -> itself.
+    """
+    if store is False:
+        return None
+    if store is None or store is True:
+        return default_store()
+    return store

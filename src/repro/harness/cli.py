@@ -14,6 +14,13 @@ so results can be regenerated without writing Python:
     python -m repro scenarios               # Figure 1 micro-timelines
     python -m repro area                    # Section 5.3 overheads
     python -m repro run mcf_like icfp       # one kernel on one model
+    python -m repro cache stats             # disk result-store health
+
+Campaigns are incremental by default: results persist in the on-disk
+store (``REPRO_CACHE_DIR``, default ``.repro-cache/``), so re-running a
+figure in a fresh process simulates only cells it has never seen.
+``--no-store`` (or ``REPRO_STORE=0``) opts a run out; ``repro cache``
+inspects and maintains the store.
 """
 
 from __future__ import annotations
@@ -52,13 +59,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="simulation worker processes (default: "
                              "REPRO_JOBS, then all CPUs; 1 = sequential)")
+    parser.add_argument("--store", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="use the on-disk result store under "
+                             "REPRO_CACHE_DIR (default: REPRO_STORE, on)")
 
 
 def _apply_jobs(args) -> None:
+    # Threads the worker count and store toggle through every campaign
+    # this process runs — the engine reads REPRO_JOBS / REPRO_STORE
+    # wherever jobs= / store= isn't passed explicitly.
     if getattr(args, "jobs", None) is not None:
-        # Threads the worker count through every campaign this process
-        # runs — the engine reads REPRO_JOBS wherever jobs= isn't passed.
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
+    if getattr(args, "store", None) is not None:
+        os.environ["REPRO_STORE"] = "1" if args.store else "0"
 
 
 def _config(args) -> ExperimentConfig:
@@ -138,6 +152,47 @@ def cmd_area(_args) -> None:
     print(format_area_table())
 
 
+def cmd_cache(args) -> None:
+    from ..exec.store import ResultStore, cache_dir
+
+    # Maintenance operates on whatever REPRO_CACHE_DIR points at, even
+    # when the store is disabled for campaigns.
+    store = ResultStore(cache_dir())
+    if args.action == "stats":
+        info = store.stats()
+        print(f"Result store: {info['root']} "
+              f"(schema v{info['schema']}, engine {info['engine']})")
+        for section, usage in info["sections"].items():
+            print(f"  {section:10s} {usage['entries']:6d} entries  "
+                  f"{usage['bytes'] / 1024:10.1f} KiB")
+        print(f"  {'total':10s} {info['entries']:6d} entries  "
+              f"{info['bytes'] / 1024:10.1f} KiB")
+        stale = info["stale"]
+        if stale["entries"]:
+            print(f"  stale versions: {stale['entries']} entries, "
+                  f"{stale['bytes'] / 1024:.1f} KiB  "
+                  "(`repro cache gc --older-than N` removes these)")
+        lifetime = info["lifetime"]
+        if lifetime:
+            lookups = lifetime.get("hits", 0) + lifetime.get("misses", 0)
+            rate = (100.0 * lifetime.get("hits", 0) / lookups
+                    if lookups else 0.0)
+            print(f"  lifetime: {lifetime.get('hits', 0)} hits / "
+                  f"{lookups} lookups ({rate:.1f}%), "
+                  f"{lifetime.get('writes', 0)} writes, "
+                  f"{lifetime.get('corrupt', 0)} corrupt")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {os.path.abspath(store.root)}")
+    else:  # gc
+        if args.older_than is None:
+            raise SystemExit("cache gc requires --older-than DAYS")
+        removed = store.gc(args.older_than)
+        print(f"gc: removed {removed['expired']} expired and "
+              f"{removed['stale']} stale-version entries from "
+              f"{os.path.abspath(store.root)}")
+
+
 def cmd_sweep(args) -> None:
     workloads = _workloads(args)
     if args.parameter == "chain-table":
@@ -196,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("kernel", choices=sorted(ALL_KERNELS))
     p.add_argument("model", choices=MODELS + ("all",))
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("cache", help="inspect / maintain the disk store")
+    p.add_argument("action", choices=("stats", "clear", "gc"))
+    p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
+                   help="gc: delete records older than DAYS days "
+                        "(stale-version records always go)")
+    p.set_defaults(fn=cmd_cache)
     return parser
 
 

@@ -103,24 +103,28 @@ def suite_jobs(models=MODELS, workloads=None,
 
 def run_workload(workload: str, models=MODELS,
                  config: ExperimentConfig | None = None,
-                 jobs: int | None = None) -> dict[str, SimResult]:
+                 jobs: int | None = None, store=None) -> dict[str, SimResult]:
     """Run several models over one kernel (one shared, cached trace)."""
-    results = run_suite(models, (workload,), config, jobs=jobs)
+    results = run_suite(models, (workload,), config, jobs=jobs, store=store)
     return results[workload]
 
 
 def run_suite(models=MODELS, workloads=None,
               config: ExperimentConfig | None = None,
-              jobs: int | None = None) -> dict[str, dict[str, SimResult]]:
+              jobs: int | None = None,
+              store=None) -> dict[str, dict[str, SimResult]]:
     """Run ``models`` x ``workloads``; returns results[workload][model].
 
     The grid goes through the campaign engine: previously-computed
-    (model, workload, config) cells come from the result memo, the rest
-    fan out over ``jobs`` worker processes (default ``REPRO_JOBS``, then
-    ``os.cpu_count()``; 1 = sequential in-process).
+    (model, workload, config) cells come from the result memo or the
+    on-disk store (``store=`` as in :func:`repro.exec.run_jobs`:
+    ``None`` = environment default, ``False`` = off, or an explicit
+    :class:`~repro.exec.ResultStore`), the rest fan out over ``jobs``
+    worker processes (default ``REPRO_JOBS``, then ``os.cpu_count()``;
+    1 = sequential in-process).
     """
     specs = suite_jobs(models, workloads, config)
-    results = run_jobs(specs, workers=jobs)
+    results = run_jobs(specs, workers=jobs, store=store)
     table: dict[str, dict[str, SimResult]] = {}
     for spec, result in zip(specs, results):
         table.setdefault(spec.workload, {})[spec.model] = result

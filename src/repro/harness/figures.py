@@ -38,10 +38,10 @@ class Figure5:
 
 
 def figure5(config: ExperimentConfig | None = None,
-            workloads=None) -> Figure5:
+            workloads=None, store=None) -> Figure5:
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
-    results = run_suite(MODELS, workloads, config)
+    results = run_suite(MODELS, workloads, config, store=store)
     schemes = [m for m in MODELS if m != "in-order"]
     percent, geomeans = {}, {}
     for model in schemes:
@@ -92,7 +92,7 @@ FIGURE6_CONFIGS = (
 
 
 def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
-            config: ExperimentConfig | None = None) -> Figure6:
+            config: ExperimentConfig | None = None, store=None) -> Figure6:
     """Sweep the L2 hit latency across the Figure 6 configurations.
 
     Following the paper, speedups at every latency are measured against
@@ -122,7 +122,7 @@ def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
             for w in workloads:
                 grid.append(SimJob(model, w, cfg))
                 cells.append((label, latency, model))
-    results = run_jobs(grid)
+    results = run_jobs(grid, store=store)
 
     ref_cycles: dict[str, int] = {}
     cycles: dict[tuple[str, int], dict[str, int]] = {}
@@ -190,7 +190,7 @@ class Figure7:
 
 
 def figure7(config: ExperimentConfig | None = None,
-            workloads=FIGURE7_WORKLOADS) -> Figure7:
+            workloads=FIGURE7_WORKLOADS, store=None) -> Figure7:
     base = config if config is not None else ExperimentConfig()
 
     # One campaign: the shared in-order baseline plus all five bars.
@@ -198,7 +198,7 @@ def figure7(config: ExperimentConfig | None = None,
     for _, model, overrides in FIGURE7_BARS:
         cfg = dataclasses.replace(base, **overrides)
         grid.extend(SimJob(model, w, cfg) for w in workloads)
-    results = iter(run_jobs(grid))
+    results = iter(run_jobs(grid, store=store))
 
     io_cycles = {w: next(results).cycles for w in workloads}
     percent: dict[str, dict[str, float]] = {}
@@ -243,7 +243,7 @@ class Figure8:
 
 
 def figure8(config: ExperimentConfig | None = None,
-            workloads=FIGURE8_WORKLOADS) -> Figure8:
+            workloads=FIGURE8_WORKLOADS, store=None) -> Figure8:
     base = config if config is not None else ExperimentConfig()
 
     grid = [SimJob("in-order", w, base) for w in workloads]
@@ -251,7 +251,7 @@ def figure8(config: ExperimentConfig | None = None,
         feats = ICFPFeatures(store_buffer_kind=kind)
         cfg = dataclasses.replace(base, icfp_features=feats)
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
-    results = iter(run_jobs(grid))
+    results = iter(run_jobs(grid, store=store))
 
     io_cycles = {w: next(results).cycles for w in workloads}
     percent: dict[str, dict[str, float]] = {}

@@ -34,7 +34,8 @@ class SweepResult:
         return {v: (g / ref - 1.0) * 100.0 for v, g in self.gmeans().items()}
 
 
-def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult:
+def _sweep(parameter: str, values, feature_of, workloads, config,
+           store=None) -> SweepResult:
     """One batched campaign over the whole sweep.
 
     The in-order baseline appears *once* per workload in the job grid —
@@ -42,6 +43,8 @@ def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult
     value (as the naive nested-loop formulation does) is pure waste.
     Each workload's trace is likewise generated once, shared by the
     baseline and every sweep value through the engine's trace cache.
+    With the disk store enabled, re-running (or *extending*) a sweep in
+    a fresh process simulates only the values it has never seen.
     """
     base = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
@@ -49,7 +52,7 @@ def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult
     for value in values:
         cfg = dataclasses.replace(base, icfp_features=feature_of(value))
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
-    results = iter(run_jobs(grid))
+    results = iter(run_jobs(grid, store=store))
     io_cycles = {w: next(results).cycles for w in workloads}
     ratios = {value: {w: io_cycles[w] / next(results).cycles
                       for w in workloads}
@@ -58,20 +61,22 @@ def _sweep(parameter: str, values, feature_of, workloads, config) -> SweepResult
 
 
 def chain_table_sweep(sizes=(64, 128, 512), workloads=None,
-                      config: ExperimentConfig | None = None) -> SweepResult:
+                      config: ExperimentConfig | None = None,
+                      store=None) -> SweepResult:
     return _sweep(
         "chain_table_size", sizes,
         lambda size: ICFPFeatures(chain_table_size=size),
-        workloads, config,
+        workloads, config, store=store,
     )
 
 
 def poison_bits_sweep(widths=(1, 2, 4, 8), workloads=None,
-                      config: ExperimentConfig | None = None) -> SweepResult:
+                      config: ExperimentConfig | None = None,
+                      store=None) -> SweepResult:
     return _sweep(
         "poison_bits", widths,
         lambda width: ICFPFeatures(poison_bits=width),
-        workloads, config,
+        workloads, config, store=store,
     )
 
 

@@ -21,13 +21,18 @@ class Table2Row:
 
 
 def table2(config: ExperimentConfig | None = None,
-           workloads=None) -> list[Table2Row]:
+           workloads=None, store=None) -> list[Table2Row]:
     """Reproduce Table 2: Miss/KI, MLP for in-order/Runahead/iCFP, and
-    iCFP rally overhead."""
+    iCFP rally overhead.
+
+    ``store`` selects the disk tier as in :func:`repro.exec.run_jobs`
+    (``None`` = environment default) — Table 2 shares its cells with
+    the Figure 5 grid, so after a figure run it is usually free.
+    """
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
     models = ("in-order", "runahead", "icfp")
-    results = run_suite(models, workloads, config)
+    results = run_suite(models, workloads, config, store=store)
     rows = []
     for workload in workloads:
         runs = results[workload]

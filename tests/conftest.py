@@ -1,0 +1,18 @@
+"""Shared test configuration: a hermetic disk store per test.
+
+The on-disk result store (:mod:`repro.exec.store`) is on by default, so
+without this fixture the suite would read — and pollute — whatever
+``.repro-cache/`` the developer has accumulated, making test outcomes
+depend on machine state.  Every test instead gets a private store root
+under its own ``tmp_path``; tests that want the store off entirely set
+``REPRO_STORE=0`` via ``monkeypatch`` on top of this.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def hermetic_result_store(tmp_path, monkeypatch):
+    """Point REPRO_CACHE_DIR at a per-test tmpdir; neutralise REPRO_STORE."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_STORE", raising=False)

@@ -1,0 +1,266 @@
+"""Disk result-store correctness.
+
+The store is the third memo tier; its contract is that a store hit is
+indistinguishable from a fresh simulation.  These tests pin that down:
+exact stat round-trips, version-bump invalidation, corrupt-record
+fallback, warm-checkpoint reuse, and the three-tier ``run_jobs`` path.
+All stores live in per-test tmpdirs (the root ``tests/conftest.py``
+fixture), so tier-1 never touches a developer's ``.repro-cache/``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.baselines.inorder import InOrderCore
+from repro.exec import RESULT_CACHE, ResultStore, SimJob, default_store, run_jobs
+from repro.exec.store import (
+    cache_dir,
+    payload_to_result,
+    result_to_payload,
+    store_enabled,
+    warm_fingerprint,
+)
+from repro.harness.experiment import ExperimentConfig
+
+CFG = ExperimentConfig(instructions=400)
+
+
+def fresh_results(models=("in-order", "icfp"), workload="mcf_like"):
+    """Simulate a tiny grid with every cache tier off."""
+    jobs = [SimJob(model, workload, CFG) for model in models]
+    return jobs, run_jobs(jobs, workers=1, memo=False, store=False)
+
+
+# ----------------------------------------------------------------------
+# serialisation round-trip
+# ----------------------------------------------------------------------
+def test_store_hit_is_byte_identical_to_fresh_simulation(tmp_path):
+    jobs, results = fresh_results()
+    store = ResultStore(str(tmp_path / "store"))
+    for job, result in zip(jobs, results):
+        store.put_result(job.fingerprint, result)
+    # A different instance (fresh process stand-in) must reproduce every
+    # recorded statistic exactly, including the MLP meters' derived
+    # values, which recompute from the persisted raw intervals.
+    reader = ResultStore(str(tmp_path / "store"))
+    for job, result in zip(jobs, results):
+        loaded = reader.get_result(job.fingerprint)
+        assert loaded is not None and loaded is not result
+        assert result_to_payload(loaded) == result_to_payload(result)
+        assert loaded.cycles == result.cycles
+        assert loaded.ipc == result.ipc
+        assert loaded.stats.stalls.total() == result.stats.stalls.total()
+        assert loaded.stats.d_mlp.average() == result.stats.d_mlp.average()
+        assert loaded.stats.l2_mlp.count == result.stats.l2_mlp.count
+    assert reader.hits == len(jobs) and reader.corrupt == 0
+
+
+def test_payload_round_trip_preserves_interval_tuples():
+    _, results = fresh_results(models=("icfp",))
+    rebuilt = payload_to_result(
+        json.loads(json.dumps(result_to_payload(results[0]))))
+    for interval in rebuilt.stats.d_mlp._intervals:
+        assert isinstance(interval, tuple)
+
+
+# ----------------------------------------------------------------------
+# versioning
+# ----------------------------------------------------------------------
+def test_schema_or_engine_bump_invalidates_cleanly(tmp_path):
+    root = str(tmp_path / "store")
+    jobs, results = fresh_results(models=("in-order",))
+    fp = jobs[0].fingerprint
+    ResultStore(root).put_result(fp, results[0])
+
+    bumped_engine = ResultStore(root, engine_version="eh3")
+    assert bumped_engine.get_result(fp) is None
+    assert bumped_engine.misses == 1 and bumped_engine.corrupt == 0
+
+    bumped_schema = ResultStore(root, schema=2)
+    assert bumped_schema.get_result(fp) is None
+    assert bumped_schema.misses == 1 and bumped_schema.corrupt == 0
+
+    # The old-version record is untouched (no destructive reads) ...
+    assert ResultStore(root).get_result(fp) is not None
+    # ... until gc reclaims it as stale from the bumped store's view.
+    removed = bumped_engine.gc(older_than_days=10_000)
+    assert removed["stale"] == 1
+    assert ResultStore(root).get_result(fp) is None
+
+
+def test_gc_expires_current_records_by_age(tmp_path):
+    root = str(tmp_path / "store")
+    store = ResultStore(root)
+    jobs, results = fresh_results(models=("in-order",))
+    store.put_result(jobs[0].fingerprint, results[0])
+    assert store.gc(older_than_days=1)["expired"] == 0
+    assert store.get_result(jobs[0].fingerprint) is not None
+    path = store._record_path("results", jobs[0].fingerprint)
+    os.utime(path, (1, 1))  # ancient mtime
+    assert store.gc(older_than_days=1)["expired"] == 1
+    assert ResultStore(root).get_result(jobs[0].fingerprint) is None
+
+
+def test_gc_prune_never_touches_foreign_directories(tmp_path):
+    """A mis-pointed REPRO_CACHE_DIR must survive gc intact."""
+    root = tmp_path / "store"
+    store = ResultStore(str(root))
+    jobs, results = fresh_results(models=("in-order",))
+    store.put_result(jobs[0].fingerprint, results[0])
+    bystander = root / "my-project" / "empty-subdir"
+    bystander.mkdir(parents=True)
+    path = store._record_path("results", jobs[0].fingerprint)
+    os.utime(path, (1, 1))
+    assert store.gc(older_than_days=1)["expired"] == 1
+    assert bystander.is_dir(), "gc pruned a non-store directory"
+    assert not os.path.exists(os.path.dirname(path))  # emptied shard pruned
+
+
+def test_clear_removes_only_store_owned_entries(tmp_path):
+    root = tmp_path / "store"
+    store = ResultStore(str(root))
+    jobs, results = fresh_results(models=("in-order",))
+    store.put_result(jobs[0].fingerprint, results[0])
+    store.flush_counters()
+    bystander = root / "NOTES.txt"
+    bystander.write_text("not a store record")
+    assert store.clear() == 1
+    assert bystander.exists()
+    assert not (root / "v1").exists()
+
+
+# ----------------------------------------------------------------------
+# corruption
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("damage", ["truncate", "garbage", "wrong_shape"])
+def test_corrupt_record_falls_back_to_recompute(tmp_path, damage):
+    root = str(tmp_path / "store")
+    store = ResultStore(root)
+    jobs, results = fresh_results(models=("in-order",))
+    fp = jobs[0].fingerprint
+    store.put_result(fp, results[0])
+    path = store._record_path("results", fp)
+    if damage == "truncate":
+        with open(path, "r+") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+    elif damage == "garbage":
+        with open(path, "w") as handle:
+            handle.write("not json {")
+    else:
+        with open(path, "w") as handle:
+            json.dump({"schema": store.schema, "engine": store.engine_version,
+                       "fingerprint": fp, "payload": {"stats": {}}}, handle)
+
+    reader = ResultStore(root)
+    assert reader.get_result(fp) is None
+    assert reader.corrupt == 1 and reader.hits == 0
+    assert not os.path.exists(path)  # discarded, so a rewrite can land
+
+    # The engine recomputes and repopulates transparently.
+    RESULT_CACHE.clear()
+    recomputed, = run_jobs([jobs[0]], workers=1, store=reader)
+    assert result_to_payload(recomputed) == result_to_payload(results[0])
+    assert ResultStore(root).get_result(fp) is not None
+
+
+# ----------------------------------------------------------------------
+# the three-tier run_jobs path
+# ----------------------------------------------------------------------
+def test_run_jobs_hits_store_for_every_cell_after_memo_clear(monkeypatch):
+    jobs = [SimJob(model, "gzip_like", CFG)
+            for model in ("in-order", "runahead", "icfp")]
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    RESULT_CACHE.clear()
+    first = run_jobs(jobs)
+    store = default_store()
+    assert store is not None and store.writes >= len(jobs)
+
+    # A cleared RAM memo stands in for a fresh process: every cell must
+    # now come from the disk store, with zero simulations.
+    RESULT_CACHE.clear()
+    simulated = []
+    monkeypatch.setattr(
+        SimJob, "run",
+        lambda self: simulated.append(self.fingerprint))
+    hits_before = store.hits
+    second = run_jobs(jobs)
+    assert simulated == []
+    assert store.hits == hits_before + len(jobs)
+    assert ([result_to_payload(r) for r in first]
+            == [result_to_payload(r) for r in second])
+
+
+def test_memo_false_bypasses_store_by_default(tmp_path):
+    jobs = [SimJob("in-order", "mesa_like", CFG)]
+    run_jobs(jobs, workers=1, memo=False)
+    store_root = cache_dir()
+    assert not os.path.exists(os.path.join(store_root, "v1", "eh2", "results"))
+
+
+def test_store_false_disables_disk_tier():
+    RESULT_CACHE.clear()
+    jobs = [SimJob("in-order", "mesa_like", CFG)]
+    run_jobs(jobs, workers=1, store=False)
+    # No result records (warm checkpoints are governed by REPRO_STORE,
+    # not by run_jobs' store= argument).
+    assert not os.path.exists(os.path.join(cache_dir(), "v1", "eh2",
+                                           "results"))
+
+
+def test_store_env_toggle(monkeypatch):
+    assert store_enabled()
+    monkeypatch.setenv("REPRO_STORE", "0")
+    assert not store_enabled() and default_store() is None
+    monkeypatch.setenv("REPRO_STORE", "off")
+    assert not store_enabled()
+    monkeypatch.setenv("REPRO_STORE", "1")
+    assert store_enabled() and default_store() is not None
+
+
+# ----------------------------------------------------------------------
+# warm-state checkpoints
+# ----------------------------------------------------------------------
+def test_warm_checkpoint_shared_across_models_and_runs(monkeypatch):
+    from repro.workloads import trace_by_name
+
+    warmed = []
+    real_warm = InOrderCore._warm_dcache
+    monkeypatch.setattr(InOrderCore, "_warm_dcache",
+                        lambda self: (warmed.append(1), real_warm(self))[1])
+
+    trace = trace_by_name("equake_like", 400)
+    machine = CFG.machine_config()
+    first = InOrderCore(trace, config=machine)
+    assert warmed == [1]
+    # Same process, later model: served by the in-RAM snapshot.
+    second = InOrderCore(trace, config=machine)
+    assert warmed == [1]
+
+    # Fresh process stand-in: drop the in-RAM snapshot; the disk
+    # checkpoint (keyed by the warm sub-fingerprint) must serve it.
+    del trace.warm_snapshots
+    third = InOrderCore(trace, config=machine)
+    assert warmed == [1], "disk checkpoint was not reused"
+
+    for a, b in ((first, second), (first, third)):
+        assert a.hierarchy.l1d.export_sets() == b.hierarchy.l1d.export_sets()
+        assert a.hierarchy.l1i.export_sets() == b.hierarchy.l1i.export_sets()
+        assert a.hierarchy.l2.export_sets() == b.hierarchy.l2.export_sets()
+    for way_list in third.hierarchy.l2.export_sets():
+        for entry in way_list:
+            assert isinstance(entry, tuple)
+
+
+def test_warm_fingerprint_distinguishes_programs_and_geometry():
+    from repro.workloads.suite import build_kernel
+
+    mcf = build_kernel("mcf_like").program
+    gzip = build_kernel("gzip_like").program
+    key_a = ((32768, 2, 32), (32768, 2, 32), (1048576, 8, 64), True, True)
+    key_b = ((32768, 2, 32), (32768, 2, 32), (2097152, 8, 64), True, True)
+    fps = {warm_fingerprint(mcf, key_a), warm_fingerprint(gzip, key_a),
+           warm_fingerprint(mcf, key_b)}
+    assert len(fps) == 3
+    assert warm_fingerprint(mcf, key_a) == warm_fingerprint(mcf, key_a)

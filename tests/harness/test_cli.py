@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.harness.cli import build_parser, main
@@ -14,7 +16,8 @@ def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("characterize", "figure5", "figure6", "figure7",
-                    "figure8", "table2", "scenarios", "area", "sweep", "run"):
+                    "figure8", "table2", "scenarios", "area", "sweep", "run",
+                    "cache"):
         assert command in text
 
 
@@ -58,3 +61,39 @@ def test_unknown_kernel_rejected():
 def test_run_rejects_unknown_model():
     with pytest.raises(SystemExit):
         main(["run", "mesa_like", "tomasulo"])
+
+
+# ----------------------------------------------------------------------
+# the disk store through the CLI
+# ----------------------------------------------------------------------
+def store_root():
+    return os.environ["REPRO_CACHE_DIR"]  # per-test tmpdir (conftest)
+
+
+def test_campaign_populates_store_and_cache_stats_reports_it(capsys):
+    run_cli(capsys, "run", "mesa_like", "icfp", "-n", "400", "-j", "1")
+    out = run_cli(capsys, "cache", "stats")
+    assert "results" in out and "warm" in out
+    assert os.path.isdir(os.path.join(store_root(), "v1", "eh2", "results"))
+
+
+def test_no_store_flag_disables_result_records(capsys):
+    run_cli(capsys, "run", "mesa_like", "icfp", "-n", "400", "-j", "1",
+            "--no-store")
+    assert not os.path.exists(os.path.join(store_root(), "v1"))
+
+
+def test_cache_clear_empties_the_store(capsys):
+    run_cli(capsys, "run", "mesa_like", "in-order", "-n", "400", "-j", "1")
+    out = run_cli(capsys, "cache", "clear")
+    assert "cleared" in out
+    out = run_cli(capsys, "cache", "stats")
+    total_line = next(line for line in out.splitlines() if "total" in line)
+    assert total_line.split()[1] == "0"
+
+
+def test_cache_gc_requires_older_than(capsys):
+    with pytest.raises(SystemExit):
+        main(["cache", "gc"])
+    out = run_cli(capsys, "cache", "gc", "--older-than", "30")
+    assert "gc:" in out
