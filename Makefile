@@ -11,7 +11,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Fast-profile knobs (override on the command line as needed).
 SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
-SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads
+SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads tests/wgen
 
 .PHONY: test smoke smoke-campaign bench bench-warm bench-throughput
 
@@ -37,9 +37,10 @@ smoke-campaign:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
 
-## Campaign throughput (jobs=1 vs jobs=N, plus disk-store cold/warm) as
-## machine-readable JSON, plus the compact trend record (schema v2:
-## commit, jobs, grid, sims/sec, store cold/warm + hit counts, env).
+## Campaign throughput (jobs=1 vs jobs=N, disk-store cold/warm, and a
+## seeded generated suite) as machine-readable JSON, plus the compact
+## trend record (schema v3: commit, jobs, grid, sims/sec, store
+## cold/warm + hit counts, generated-suite build/sim rates, env).
 ## BENCH_throughput.json at the repo root is the checked-in baseline;
 ## compare a fresh run against it to see the bench trajectory.
 bench:

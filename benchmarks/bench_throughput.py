@@ -1,6 +1,6 @@
 """Campaign throughput: the Figure 5 grid, engine speed vs cache power.
 
-Two measurements, separated so the trend record can tell them apart:
+Three measurements, separated so the trend record can tell them apart:
 
 * **engine speed** — jobs=1 vs jobs=N over the grid with every memo
   tier off (``memo=False``): pure simulation throughput.
@@ -10,6 +10,11 @@ Two measurements, separated so the trend record can tell them apart:
   campaign actually costs.  Hit counters are recorded alongside the
   wall clocks, so a pre-populated store (``make bench-warm`` against a
   persistent ``--store-dir``) is self-describing.
+* **generated-suite throughput** — a seeded ``repro.wgen`` suite
+  through the same engine: spec -> program materialisation cost
+  (build wall) and simulation rate over generated workloads, so a
+  composer or generator regression shows up as its own number instead
+  of hiding inside campaign noise.
 
 Usable three ways:
 
@@ -46,6 +51,7 @@ from repro.harness.experiment import (  # noqa: E402
     selected_workloads,
     suite_jobs,
 )
+from repro.wgen import resolve_workloads, workload_name  # noqa: E402
 
 
 def run_grid(jobs: int, config: ExperimentConfig, workloads) -> dict:
@@ -133,6 +139,49 @@ def run_store_phase(config: ExperimentConfig, workloads,
     return phase
 
 
+#: Generated-suite phase defaults: a fixed seed so the benchmarked
+#: workloads are the same specs run to run (the point of a trend line).
+GENERATED_COUNT = 6
+GENERATED_SEED = 2009
+
+
+def run_generated_phase(config: ExperimentConfig,
+                        count: int = GENERATED_COUNT,
+                        seed: int = GENERATED_SEED) -> dict:
+    """Seeded wgen suite through the engine: build cost + sim rate.
+
+    Build wall covers spec sampling, phase composition, assembly, and
+    functional tracing (the work the trace cache amortises); the timed
+    simulation pass then runs the models x generated-workloads grid
+    memo-off, exactly like the engine-speed phases.
+    """
+    from repro.exec import TRACE_CACHE
+    from repro.wgen import generate_suite
+
+    specs = generate_suite(count, seed)
+    build_start = time.perf_counter()
+    for spec in specs:
+        TRACE_CACHE.get(spec, config.instructions)
+    build_wall = time.perf_counter() - build_start
+
+    jobs = suite_jobs(MODELS, specs, config)
+    start = time.perf_counter()
+    results = run_jobs(jobs, workers=1, memo=False, store=False)
+    wall = time.perf_counter() - start
+    simulated = sum(r.instructions for r in results)
+    return {
+        "count": count,
+        "seed": seed,
+        "workloads": [spec.name for spec in specs],
+        "simulations": len(jobs),
+        "build_wall_s": round(build_wall, 3),
+        "wall_clock_s": round(wall, 3),
+        "simulated_instructions": simulated,
+        "sims_per_sec": round(len(jobs) / wall, 2),
+        "instructions_per_s": round(simulated / wall, 1),
+    }
+
+
 def campaign_throughput(parallel_jobs: int | None = None,
                         config: ExperimentConfig | None = None,
                         workloads=None, store_dir: str | None = None,
@@ -155,7 +204,9 @@ def campaign_throughput(parallel_jobs: int | None = None,
         report = {
             "benchmark": "figure5_campaign_throughput",
             "instructions_per_kernel": config.instructions,
-            "workloads": list(workloads),
+            # Names, not raw refs: generated workloads (WorkloadSpec)
+            # are not JSON-serialisable and the record only needs ids.
+            "workloads": [workload_name(w) for w in workloads],
             "models": list(MODELS),
             "cpu_count": os.cpu_count(),
             "repro_jobs_env": os.environ.get("REPRO_JOBS"),
@@ -173,6 +224,7 @@ def campaign_throughput(parallel_jobs: int | None = None,
             })
             for side in (sequential, parallel):
                 del side["cycles"]  # bulky; the verdict is what matters
+            report["generated"] = run_generated_phase(config)
         report["store"] = run_store_phase(config, workloads, store_dir)
     finally:
         if prior_store_env is None:
@@ -197,6 +249,10 @@ def test_campaign_throughput(once):
     assert store["results_identical"], "store-warm pass diverged from cold"
     assert store["warm_all_hits"], "warm pass missed the disk store"
     assert store["warm"]["store_writes"] == 0
+    generated = report["generated"]
+    assert generated["simulations"] == generated["count"] * len(MODELS)
+    assert generated["sims_per_sec"] > 0
+    assert generated["simulated_instructions"] > 0
 
 
 def git_commit() -> str:
@@ -214,18 +270,20 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema v2: commit, jobs, grid, sims/sec (engine speed), the store's
+    Schema v3: commit, jobs, grid, sims/sec (engine speed), the store's
     cold-vs-warm wall clocks with hit/miss/write counters (cache
-    effectiveness), and the environment (``REPRO_JOBS``, cpu count) —
-    enough for a dashboard to plot both trajectories across PRs, and to
-    tell an engine regression from a cache regression, without
-    re-parsing the full report.
+    effectiveness), the generated-suite build/sim rates (wgen
+    trajectory), and the environment (``REPRO_JOBS``, cpu count) —
+    enough for a dashboard to plot all three trajectories across PRs,
+    and to tell an engine regression from a cache regression from a
+    generator regression, without re-parsing the full report.
     """
     sequential = report["sequential"]
     parallel = report["parallel"]
     store = report["store"]
+    generated = report["generated"]
     return {
-        "schema": "bench_throughput/v2",
+        "schema": "bench_throughput/v3",
         "commit": git_commit(),
         "jobs": {"sequential": 1, "parallel": parallel["jobs"]},
         "grid": {
@@ -263,6 +321,15 @@ def bench_record(report: dict) -> dict:
             "warm_all_hits": store["warm_all_hits"],
             "results_identical": store["results_identical"],
         },
+        "generated": {
+            "count": generated["count"],
+            "seed": generated["seed"],
+            "simulations": generated["simulations"],
+            "build_wall_s": generated["build_wall_s"],
+            "wall_clock_s": generated["wall_clock_s"],
+            "sims_per_sec": generated["sims_per_sec"],
+            "instructions_per_s": generated["instructions_per_s"],
+        },
         "results_identical": report["results_identical"],
     }
 
@@ -274,7 +341,8 @@ def main(argv=None) -> int:
     parser.add_argument("-n", "--instructions", type=int, default=None,
                         help="dynamic instructions per kernel")
     parser.add_argument("-w", "--workloads", type=str, default=None,
-                        help="comma-separated kernel subset")
+                        help="comma-separated workload refs (kernel names, "
+                             "@specfile.json, gen:N[:SEED])")
     parser.add_argument("-o", "--output", type=str, default=None,
                         help="also write the compact trend record "
                              "(commit, jobs, grid, sims/sec, store) here")
@@ -292,8 +360,9 @@ def main(argv=None) -> int:
         import dataclasses
 
         config = dataclasses.replace(config, instructions=args.instructions)
-    workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
-                 if args.workloads else None)
+    workloads = (resolve_workloads(
+        w.strip() for w in args.workloads.split(",") if w.strip())
+        if args.workloads else None)
     report = campaign_throughput(args.jobs, config, workloads,
                                  store_dir=args.store_dir,
                                  store_only=args.store_only)

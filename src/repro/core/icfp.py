@@ -43,6 +43,13 @@ NORMAL = "normal"
 ADVANCE = "advance"
 SIMPLE_RA = "simple_ra"
 
+#: Forward-progress bound on chained re-advance: a rallied load may
+#: re-defer on a fresh qualifying miss at most this many times before
+#: the rally blocks on its fill and merges it.  Deep enough that real
+#: dependent-miss chains (a handful of levels) are never cut short;
+#: finite so a set-thrashing slice cannot re-poison one load forever.
+_MAX_RALLY_REDEFERS = 8
+
 
 @dataclass(frozen=True)
 class ICFPFeatures:
@@ -698,8 +705,17 @@ class ICFPCore(CoreModel):
             return False
         self.record_miss(result)
         if self._qualifies_for_advance(result):
-            # Dependent miss discovered during the rally.
-            if self.features.nonblocking_rally:
+            # Dependent miss discovered during the rally.  Re-deferral
+            # must be *bounded*: a load whose line keeps getting evicted
+            # between passes (set-thrashing slices — generated blocked
+            # kernels whose strides alias a few D$ sets do this) would
+            # otherwise re-poison on every visit and the rally would
+            # never drain.  After a few chained re-advances, block on
+            # this fill and merge — the same forward-progress guarantee
+            # the indexed store buffer's younger-entry skip provides.
+            if (self.features.nonblocking_rally
+                    and slice_entry.redefers < _MAX_RALLY_REDEFERS):
+                slice_entry.redefers += 1
                 mask = self.poison_alloc.bit_for(result.mshr)
                 slice_entry.poison = mask
                 self.stats.rally_instructions += 1

@@ -35,11 +35,14 @@ class SliceEntry:
     never chase stale producers.  ``ssn_limit`` records the store-buffer
     tail at capture so re-executing loads only forward from older
     stores; ``ssn`` names the store-buffer slot of a sliced store.
+    ``redefers`` counts rally visits that re-deferred this load on a
+    fresh qualifying miss — the forward-progress bound on chained
+    re-advance (see ``ICFPCore._rally_load``).
     """
 
     __slots__ = ("dyn", "seq", "captured", "poison", "active", "ssn_limit",
                  "predicted_ok", "producer_seq", "result_value", "done_cycle",
-                 "ssn")
+                 "ssn", "redefers")
 
     def __init__(self, dyn: DynInst, seq: int, captured: dict, poison: int,
                  ssn_limit: int, predicted_ok: bool = True,
@@ -55,6 +58,7 @@ class SliceEntry:
         self.result_value = None
         self.done_cycle = 0
         self.ssn = ssn
+        self.redefers = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "active" if self.active else "done"

@@ -238,8 +238,11 @@ class CoreModel:
                 continue
             insert(l2_line)
             per_set[set_index] = count + 1
-        hot = self.trace.program.hot_region
-        if hot is not None:
+        program = self.trace.program
+        regions = program.hot_regions
+        if not regions and program.hot_region is not None:
+            regions = (program.hot_region,)  # externally built Program
+        for hot in regions:
             for addr in range(hot[0], hot[1], cfg.l1d.line_bytes):
                 self.hierarchy.l1d.insert(cfg.l1d.line_addr(addr))
 

@@ -5,11 +5,13 @@ These are the first two tiers of the three-tier lookup path
 :mod:`repro.exec.store`.
 
 :class:`TraceCache`
-    Functional traces keyed by ``(kernel, instructions)``.  Trace
-    generation is deterministic (seeded kernels, functional execution),
-    so one trace serves every model, sweep value, and figure that asks
-    for the same kernel at the same budget.  Repeated requests return
-    the *identical* object — timing models never mutate traces.
+    Functional traces keyed by ``(workload, instructions)``, where the
+    workload is a named-suite kernel (``str``) or a generated
+    :class:`~repro.wgen.spec.WorkloadSpec`.  Trace generation is
+    deterministic (seeded kernels, functional execution), so one trace
+    serves every model, sweep value, and figure that asks for the same
+    workload at the same budget.  Repeated requests return the
+    *identical* object — timing models never mutate traces.
 
 :class:`ResultCache`
     :class:`~repro.engine.result.SimResult` keyed by job fingerprint.
@@ -29,28 +31,40 @@ from collections import OrderedDict
 
 
 class TraceCache:
-    """Bounded LRU of functional traces keyed by (kernel, instructions)."""
+    """Bounded LRU of functional traces keyed by (workload, instructions)."""
 
     def __init__(self, maxsize: int = 64) -> None:
         self.maxsize = maxsize
-        self._entries: OrderedDict[tuple[str, int], object] = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get(self, name: str, instructions: int):
-        """The trace for ``name`` at ``instructions``, built on miss."""
-        key = (name, instructions)
+    def get(self, workload, instructions: int):
+        """The trace for ``workload`` at ``instructions``, built on miss.
+
+        ``workload`` is a suite kernel name or a (frozen, hashable)
+        :class:`~repro.wgen.spec.WorkloadSpec`, whose program the phase
+        composer materialises on first request.
+        """
+        key = (workload, instructions)
         trace = self._entries.get(key)
         if trace is not None:
             self.hits += 1
             self._entries.move_to_end(key)
             return trace
         self.misses += 1
-        # Local import: workloads.suite routes trace_by_name through this
-        # module, so a top-level import would be circular.
+        # Local imports: workloads.suite routes trace_by_name through
+        # this module, so a top-level import would be circular (and
+        # wgen's composer sits above the same layer).
         from ..workloads.suite import build_kernel, trace_kernel
 
-        trace = trace_kernel(build_kernel(name), instructions=instructions)
+        if isinstance(workload, str):
+            kernel = build_kernel(workload)
+        else:
+            from ..wgen.compose import build_workload
+
+            kernel = build_workload(workload)
+        trace = trace_kernel(kernel, instructions=instructions)
         self._entries[key] = trace
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

@@ -11,18 +11,22 @@ from .fingerprint import fingerprint
 
 @dataclass(frozen=True)
 class SimJob:
-    """One simulation: a machine model on a kernel under a config.
+    """One simulation: a machine model on a workload under a config.
 
     The spec is tiny and picklable — the trace is *not* carried along;
     executors regenerate it (deterministically, via the trace cache) on
-    whichever process runs the job.  ``config`` is an
+    whichever process runs the job.  ``workload`` is a named-suite
+    kernel (``str``) or a generated
+    :class:`~repro.wgen.spec.WorkloadSpec` — the latter is itself a
+    frozen dataclass of primitives, so it pickles with the job and its
+    every knob folds into the fingerprint.  ``config`` is an
     :class:`~repro.harness.experiment.ExperimentConfig`; its
     ``instructions`` budget names the trace, and the rest (machine
     config, feature flags, advance triggers) names the timing model.
     """
 
     model: str
-    workload: str
+    workload: object
     config: object
 
     @cached_property

@@ -151,8 +151,17 @@ def program_image_digest(program) -> str:
     """
     digest = getattr(program, "_warm_image_digest", None)
     if digest is None:
-        digest = fingerprint(program.name, len(program.instructions),
-                             program.data, program.hot_region)
+        if len(program.hot_regions) > 1:
+            # Multi-region (composed) programs: every region shapes the
+            # warm L1D, so all of them key the checkpoint.  The single-
+            # region form stays as it always was — existing named-suite
+            # digests (and their stored checkpoints) remain valid.
+            digest = fingerprint(program.name, len(program.instructions),
+                                 program.data, program.hot_region,
+                                 program.hot_regions)
+        else:
+            digest = fingerprint(program.name, len(program.instructions),
+                                 program.data, program.hot_region)
         program._warm_image_digest = digest
     return digest
 

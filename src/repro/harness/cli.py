@@ -15,12 +15,20 @@ so results can be regenerated without writing Python:
     python -m repro area                    # Section 5.3 overheads
     python -m repro run mcf_like icfp       # one kernel on one model
     python -m repro cache stats             # disk result-store health
+    python -m repro wgen generate -N 8 --seed 7 -o suite.json
+    python -m repro wgen characterize -w gen:8:7
 
 Campaigns are incremental by default: results persist in the on-disk
 store (``REPRO_CACHE_DIR``, default ``.repro-cache/``), so re-running a
 figure in a fresh process simulates only cells it has never seen.
 ``--no-store`` (or ``REPRO_STORE=0``) opts a run out; ``repro cache``
 inspects and maintains the store.
+
+Workload references (``-w``) accept, in any mix: named-suite kernels
+(``mcf_like``), generated-suite spec files written by ``repro wgen
+generate`` (``@suite.json``), and inline seeded generated suites
+(``gen:N`` or ``gen:N:SEED``) — every campaign command runs generated
+workloads interchangeably with the named suite.
 """
 
 from __future__ import annotations
@@ -51,7 +59,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-n", "--instructions", type=int, default=None,
                         help="dynamic instructions per kernel")
     parser.add_argument("-w", "--workloads", type=str, default=None,
-                        help="comma-separated kernel subset")
+                        help="comma-separated workload references: kernel "
+                             "names, @specfile.json, gen:N[:SEED]")
     parser.add_argument("--l2-latency", type=int, default=20,
                         help="L2 hit latency in cycles (Table 1: 20)")
     parser.add_argument("--cold", action="store_true",
@@ -87,27 +96,31 @@ def _config(args) -> ExperimentConfig:
 def _workloads(args):
     if args.workloads is None:
         return None
-    names = [n.strip() for n in args.workloads.split(",") if n.strip()]
-    unknown = [n for n in names if n not in ALL_KERNELS]
-    if unknown:
-        raise SystemExit(f"unknown kernels: {unknown}")
-    return names
+    from ..wgen import resolve_workloads
+
+    refs = [n.strip() for n in args.workloads.split(",") if n.strip()]
+    try:
+        return resolve_workloads(refs)
+    except (KeyError, ValueError, OSError) as exc:
+        raise SystemExit(f"bad workload reference: {exc}") from None
 
 
 def cmd_characterize(args) -> None:
     from ..baselines import InOrderCore
-    from ..workloads import trace_by_name
+    from ..exec.cache import TRACE_CACHE
+    from ..wgen import workload_name
 
     config = _config(args)
-    names = _workloads(args) or list(ALL_KERNELS)
+    workloads = _workloads(args) or list(ALL_KERNELS)
     print(f"{'kernel':16s} {'IPC':>6s} {'D$/KI':>7s} {'L2/KI':>7s} "
           f"{'brMPKI':>7s}")
-    for name in names:
-        trace = trace_by_name(name, config.instructions)
+    for workload in workloads:
+        trace = TRACE_CACHE.get(workload, config.instructions)
         result = InOrderCore(trace, config=config.machine_config()).run()
         d, l2 = result.stats.misses_per_ki()
         br = result.stats.branch_mispredicts * 1000 / max(1, len(trace))
-        print(f"{name:16s} {result.ipc:6.3f} {d:7.1f} {l2:7.1f} {br:7.1f}")
+        print(f"{workload_name(workload):16s} {result.ipc:6.3f} "
+              f"{d:7.1f} {l2:7.1f} {br:7.1f}")
 
 
 def cmd_figure5(args) -> None:
@@ -193,6 +206,63 @@ def cmd_cache(args) -> None:
               f"{os.path.abspath(store.root)}")
 
 
+def cmd_wgen(args) -> None:
+    import json as _json
+
+    from .. import wgen
+
+    if args.action == "generate":
+        try:
+            specs = wgen.generate_suite(args.count, args.seed,
+                                        max_phases=args.max_phases)
+        except ValueError as exc:
+            raise SystemExit(f"wgen generate: {exc}") from None
+        payload = wgen.suite_to_payload(specs, generator={
+            "count": args.count, "seed": args.seed,
+            "max_phases": args.max_phases,
+        })
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {len(specs)} workload specs to {args.output}")
+        else:
+            print(_json.dumps(payload, indent=1, sort_keys=True))
+    elif args.action == "characterize":
+        _apply_jobs(args)
+        config = _config(args)
+        workloads = _workloads(args)
+        if workloads is None:
+            raise SystemExit(
+                "wgen characterize needs -w (e.g. -w gen:8:7, "
+                "-w @suite.json, or kernel names)"
+            )
+        rows = wgen.characterize_suite(workloads, config.instructions)
+        print(wgen.format_characterizations(rows))
+    else:  # list
+        from ..workloads import ARCHETYPES
+
+        if args.workloads:
+            for spec in _workloads(args):
+                if isinstance(spec, str):
+                    print(f"{spec:16s} (named suite)")
+                else:
+                    print(f"{spec.name:16s} {spec.short_id}  "
+                          f"{len(spec.phases)} phase(s)  "
+                          f"{spec.archetype_mix}")
+        else:
+            print("archetypes:")
+            for name, builder in ARCHETYPES.items():
+                summary = (builder.__doc__ or "").strip().splitlines()[0]
+                print(f"  {name:16s} {summary}")
+            specs = wgen.registered()
+            if specs:
+                print("registered generated workloads:")
+                for name, spec in sorted(specs.items()):
+                    print(f"  {name:16s} {spec.short_id}  "
+                          f"{spec.archetype_mix}")
+
+
 def cmd_sweep(args) -> None:
     workloads = _workloads(args)
     if args.parameter == "chain-table":
@@ -204,9 +274,24 @@ def cmd_sweep(args) -> None:
 
 
 def cmd_run(args) -> None:
+    from ..wgen import resolve_workloads
+
     config = _config(args)
     models = (args.model,) if args.model != "all" else MODELS
-    runs = run_workload(args.kernel, models=models, config=config)
+    # `-w` here preloads references (e.g. -w @suite.json registers that
+    # file's specs), so the positional can name a generated workload in
+    # a fresh process: repro run -w @suite.json gen7_03 icfp
+    _workloads(args)
+    try:
+        resolved = resolve_workloads([args.kernel])
+    except (KeyError, ValueError, OSError) as exc:
+        raise SystemExit(f"bad workload reference: {exc}") from None
+    if len(resolved) != 1:
+        raise SystemExit(
+            f"`repro run` takes exactly one workload; {args.kernel!r} "
+            f"resolved to {len(resolved)}"
+        )
+    runs = run_workload(resolved[0], models=models, config=config)
     baseline = runs.get("in-order")
     for model, result in runs.items():
         line = (f"{model:12s} {result.cycles:>10d} cycles  "
@@ -246,11 +331,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("parameter", choices=("chain-table", "poison-bits"))
     p.set_defaults(fn=cmd_sweep)
 
-    p = sub.add_parser("run", help="run one kernel on one model")
+    p = sub.add_parser("run", help="run one workload on one model")
     _add_common(p)
-    p.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    p.add_argument("kernel", metavar="workload",
+                   help="suite kernel name or a generated workload name "
+                        "(preload its spec file with -w @file.json)")
     p.add_argument("model", choices=MODELS + ("all",))
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("wgen", help="generate / characterize workloads")
+    _add_common(p)
+    p.add_argument("action", choices=("generate", "characterize", "list"))
+    p.add_argument("-N", "--count", type=int, default=8,
+                   help="generate: number of workloads (default 8)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generate: generator seed (default 0)")
+    p.add_argument("--max-phases", type=int, default=3,
+                   help="generate: phases per workload ceiling (default 3)")
+    p.add_argument("-o", "--output", type=str, default=None,
+                   help="generate: write the spec file here "
+                        "(default: stdout)")
+    p.set_defaults(fn=cmd_wgen)
 
     p = sub.add_parser("cache", help="inspect / maintain the disk store")
     p.add_argument("action", choices=("stats", "clear", "gc"))

@@ -27,6 +27,7 @@ from ..engine.result import SimResult
 from ..exec import SimJob, run_jobs
 from ..functional.trace import Trace
 from ..pipeline.config import MachineConfig
+from ..wgen.spec import workload_name
 from ..workloads import ALL_KERNELS, SPECFP, SPECINT
 
 #: Paper model names in presentation order (Figure 5).
@@ -38,16 +39,23 @@ def default_instructions() -> int:
     return int(os.environ.get("REPRO_INSTRUCTIONS", "6000"))
 
 
-def selected_workloads() -> list[str]:
-    """The kernel list, optionally narrowed by ``REPRO_WORKLOADS``."""
+def selected_workloads() -> list:
+    """The workload list, optionally narrowed by ``REPRO_WORKLOADS``.
+
+    The environment variable takes the same comma-separated references
+    as the CLI's ``-w``: kernel names, ``@specfile.json``, and
+    ``gen:N[:SEED]`` generated suites.
+    """
     env = os.environ.get("REPRO_WORKLOADS")
     if not env:
         return list(ALL_KERNELS)
-    names = [n.strip() for n in env.split(",") if n.strip()]
-    unknown = [n for n in names if n not in ALL_KERNELS]
-    if unknown:
-        raise ValueError(f"unknown kernels in REPRO_WORKLOADS: {unknown}")
-    return names
+    from ..wgen.registry import resolve_workloads
+
+    refs = [n.strip() for n in env.split(",") if n.strip()]
+    try:
+        return resolve_workloads(refs)
+    except (KeyError, ValueError, OSError) as exc:
+        raise ValueError(f"bad REPRO_WORKLOADS reference: {exc}") from None
 
 
 @dataclass(frozen=True)
@@ -101,12 +109,12 @@ def suite_jobs(models=MODELS, workloads=None,
             for workload in workloads for model in models]
 
 
-def run_workload(workload: str, models=MODELS,
+def run_workload(workload, models=MODELS,
                  config: ExperimentConfig | None = None,
                  jobs: int | None = None, store=None) -> dict[str, SimResult]:
-    """Run several models over one kernel (one shared, cached trace)."""
+    """Run several models over one workload (one shared, cached trace)."""
     results = run_suite(models, (workload,), config, jobs=jobs, store=store)
-    return results[workload]
+    return results[workload_name(workload)]
 
 
 def run_suite(models=MODELS, workloads=None,
@@ -115,7 +123,10 @@ def run_suite(models=MODELS, workloads=None,
               store=None) -> dict[str, dict[str, SimResult]]:
     """Run ``models`` x ``workloads``; returns results[workload][model].
 
-    The grid goes through the campaign engine: previously-computed
+    ``workloads`` mixes named-suite kernels and generated
+    :class:`~repro.wgen.spec.WorkloadSpec`s freely; the result table is
+    keyed by :func:`~repro.wgen.spec.workload_name` in both cases.  The
+    grid goes through the campaign engine: previously-computed
     (model, workload, config) cells come from the result memo or the
     on-disk store (``store=`` as in :func:`repro.exec.run_jobs`:
     ``None`` = environment default, ``False`` = off, or an explicit
@@ -127,7 +138,7 @@ def run_suite(models=MODELS, workloads=None,
     results = run_jobs(specs, workers=jobs, store=store)
     table: dict[str, dict[str, SimResult]] = {}
     for spec, result in zip(specs, results):
-        table.setdefault(spec.workload, {})[spec.model] = result
+        table.setdefault(workload_name(spec.workload), {})[spec.model] = result
     return table
 
 

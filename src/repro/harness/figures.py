@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..core.icfp import ICFPFeatures
 from ..exec import SimJob, run_jobs
+from ..wgen.spec import workload_name
 from .experiment import (
     MODELS,
     ExperimentConfig,
@@ -41,6 +42,7 @@ def figure5(config: ExperimentConfig | None = None,
             workloads=None, store=None) -> Figure5:
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
+    names = [workload_name(w) for w in workloads]
     results = run_suite(MODELS, workloads, config, store=store)
     schemes = [m for m in MODELS if m != "in-order"]
     percent, geomeans = {}, {}
@@ -49,11 +51,13 @@ def figure5(config: ExperimentConfig | None = None,
         percent[model] = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
         geomeans[model] = {g: (v - 1.0) * 100.0
                            for g, v in group_geomeans(ratios).items()}
-    baseline_ipc = {w: results[w]["in-order"].ipc for w in workloads}
-    return Figure5(list(workloads), percent, geomeans, baseline_ipc)
+    baseline_ipc = {w: results[w]["in-order"].ipc for w in names}
+    return Figure5(names, percent, geomeans, baseline_ipc)
 
 
 def format_figure5(fig: Figure5) -> str:
+    import math
+
     schemes = list(fig.percent)
     lines = ["Figure 5: % speedup over in-order (20-cycle L2)",
              f"{'benchmark':16s} {'iO IPC':>7s} " +
@@ -63,6 +67,10 @@ def format_figure5(fig: Figure5) -> str:
         row += " ".join(f"{fig.percent[m][workload]:10.1f}" for m in schemes)
         lines.append(row)
     for group in ("SPECfp", "SPECint", "SPEC"):
+        # A group with no members (a fully generated suite has neither
+        # SPECfp nor SPECint kernels) has no geomean to print.
+        if all(math.isnan(fig.geomeans[m][group]) for m in schemes):
+            continue
         row = f"{'gmean ' + group:16s} {'':7s} "
         row += " ".join(f"{fig.geomeans[m][group]:10.1f}" for m in schemes)
         lines.append(row)
@@ -101,6 +109,7 @@ def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
     """
     base = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
+    names = [workload_name(w) for w in workloads]
 
     # One batched campaign: the 20-cycle reference baseline plus every
     # (latency, configuration) cell.  The engine dedupes the overlap
@@ -128,18 +137,19 @@ def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
     cycles: dict[tuple[str, int], dict[str, int]] = {}
     for spec, cell, result in zip(grid, cells, results):
         label, latency, _ = cell
+        name = workload_name(spec.workload)
         if label == "__reference__":
-            ref_cycles[spec.workload] = result.cycles
+            ref_cycles[name] = result.cycles
         else:
-            cycles.setdefault((label, latency), {})[spec.workload] = result.cycles
+            cycles.setdefault((label, latency), {})[name] = result.cycles
 
     percent: dict[str, dict[int, float]] = {"in-order": {}}
     for label, _, _ in FIGURE6_CONFIGS:
         percent[label] = {}
     for (label, latency), per_workload in cycles.items():
-        ratios = [ref_cycles[w] / per_workload[w] for w in workloads]
+        ratios = [ref_cycles[w] / per_workload[w] for w in names]
         percent[label][latency] = (geomean(ratios) - 1.0) * 100.0
-    group = workloads[0] if len(workloads) == 1 else "geomean"
+    group = names[0] if len(names) == 1 else "geomean"
     return Figure6(list(latencies), percent, group)
 
 
@@ -192,6 +202,7 @@ class Figure7:
 def figure7(config: ExperimentConfig | None = None,
             workloads=FIGURE7_WORKLOADS, store=None) -> Figure7:
     base = config if config is not None else ExperimentConfig()
+    names = [workload_name(w) for w in workloads]
 
     # One campaign: the shared in-order baseline plus all five bars.
     grid = [SimJob("in-order", w, base) for w in workloads]
@@ -200,14 +211,14 @@ def figure7(config: ExperimentConfig | None = None,
         grid.extend(SimJob(model, w, cfg) for w in workloads)
     results = iter(run_jobs(grid, store=store))
 
-    io_cycles = {w: next(results).cycles for w in workloads}
+    io_cycles = {w: next(results).cycles for w in names}
     percent: dict[str, dict[str, float]] = {}
     for label, _, _ in FIGURE7_BARS:
-        ratios = {w: io_cycles[w] / next(results).cycles for w in workloads}
+        ratios = {w: io_cycles[w] / next(results).cycles for w in names}
         per = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
         per["gmean"] = (geomean(ratios.values()) - 1.0) * 100.0
         percent[label] = per
-    return Figure7(list(workloads), [b[0] for b in FIGURE7_BARS], percent)
+    return Figure7(names, [b[0] for b in FIGURE7_BARS], percent)
 
 
 def format_figure7(fig: Figure7) -> str:
@@ -245,6 +256,7 @@ class Figure8:
 def figure8(config: ExperimentConfig | None = None,
             workloads=FIGURE8_WORKLOADS, store=None) -> Figure8:
     base = config if config is not None else ExperimentConfig()
+    names = [workload_name(w) for w in workloads]
 
     grid = [SimJob("in-order", w, base) for w in workloads]
     for _, kind in FIGURE8_KINDS:
@@ -253,18 +265,18 @@ def figure8(config: ExperimentConfig | None = None,
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
     results = iter(run_jobs(grid, store=store))
 
-    io_cycles = {w: next(results).cycles for w in workloads}
+    io_cycles = {w: next(results).cycles for w in names}
     percent: dict[str, dict[str, float]] = {}
     hops: dict[str, float] = {}
     for label, kind in FIGURE8_KINDS:
-        runs = {w: next(results) for w in workloads}
-        ratios = {w: io_cycles[w] / runs[w].cycles for w in workloads}
+        runs = {w: next(results) for w in names}
+        ratios = {w: io_cycles[w] / runs[w].cycles for w in names}
         per = {w: (r - 1.0) * 100.0 for w, r in ratios.items()}
         per["gmean"] = (geomean(ratios.values()) - 1.0) * 100.0
         percent[label] = per
         if kind == "chained":
-            hops = {w: runs[w].stats.hops_per_load() for w in workloads}
-    return Figure8(list(workloads), [k[0] for k in FIGURE8_KINDS],
+            hops = {w: runs[w].stats.hops_per_load() for w in names}
+    return Figure8(names, [k[0] for k in FIGURE8_KINDS],
                    percent, hops)
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..core.icfp import ICFPFeatures
 from ..exec import SimJob, run_jobs
+from ..wgen.spec import workload_name
 from .experiment import ExperimentConfig, geomean, selected_workloads
 
 
@@ -48,14 +49,15 @@ def _sweep(parameter: str, values, feature_of, workloads, config,
     """
     base = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
+    names = [workload_name(w) for w in workloads]
     grid = [SimJob("in-order", w, base) for w in workloads]
     for value in values:
         cfg = dataclasses.replace(base, icfp_features=feature_of(value))
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
     results = iter(run_jobs(grid, store=store))
-    io_cycles = {w: next(results).cycles for w in workloads}
+    io_cycles = {w: next(results).cycles for w in names}
     ratios = {value: {w: io_cycles[w] / next(results).cycles
-                      for w in workloads}
+                      for w in names}
               for value in values}
     return SweepResult(parameter, list(values), ratios)
 

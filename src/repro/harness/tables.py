@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..area.model import area_overheads
+from ..wgen.spec import workload_name
 from .experiment import ExperimentConfig, run_suite, selected_workloads
 
 
@@ -35,10 +36,11 @@ def table2(config: ExperimentConfig | None = None,
     results = run_suite(models, workloads, config, store=store)
     rows = []
     for workload in workloads:
-        runs = results[workload]
+        name = workload_name(workload)
+        runs = results[name]
         d_ki, l2_ki = runs["in-order"].stats.misses_per_ki()
         rows.append(Table2Row(
-            workload=workload,
+            workload=name,
             d_miss_per_ki=d_ki,
             l2_miss_per_ki=l2_ki,
             d_mlp={m: runs[m].stats.d_mlp.average() for m in models},

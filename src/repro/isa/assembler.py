@@ -17,6 +17,8 @@ one-per-line, which keeps unit tests and examples readable.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from .instructions import Instruction, Opcode
 from .program import Program
 from .registers import parse_reg
@@ -34,17 +36,40 @@ class Assembler:
         self._instructions: list[Instruction] = []
         self._labels: dict[str, int] = {}
         self._data: dict[int, int | float] = {}
-        self._hot_region: tuple[int, int] | None = None
+        self._hot_regions: list[tuple[int, int]] = []
+        self._scope_prefix: str = ""
+        self._halt_to: str | None = None
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
     def label(self, name: str) -> "Assembler":
         """Attach ``name`` to the next emitted instruction."""
+        name = self._scope_prefix + name
         if name in self._labels:
             raise AssemblyError(f"duplicate label: {name}")
         self._labels[name] = len(self._instructions)
         return self
+
+    @contextmanager
+    def subprogram(self, prefix: str, halt_to: str | None = None):
+        """Emit a label-scoped subprogram (the phase composer's hook).
+
+        Inside the block, every label defined *and referenced* gets
+        ``prefix.`` prepended, so independently written code fragments
+        (the workload archetype builders) can be concatenated into one
+        program without label collisions.  When ``halt_to`` is given,
+        :meth:`halt` emits a jump to that (unscoped) label instead of a
+        HALT — which is how a finite phase falls through to its
+        successor rather than ending the program.
+        """
+        outer_prefix, outer_halt = self._scope_prefix, self._halt_to
+        self._scope_prefix = outer_prefix + prefix + "."
+        self._halt_to = halt_to
+        try:
+            yield self
+        finally:
+            self._scope_prefix, self._halt_to = outer_prefix, outer_halt
 
     def word(self, addr: int, value: int | float) -> "Assembler":
         """Place an 8-byte ``value`` at data address ``addr``."""
@@ -52,8 +77,12 @@ class Assembler:
         return self
 
     def hot_region(self, lo: int, hi: int) -> "Assembler":
-        """Declare [lo, hi) as the steady-state L1-resident range."""
-        self._hot_region = (lo, hi)
+        """Declare [lo, hi) as a steady-state L1-resident range.
+
+        May be called once per composed phase; warm-up pre-installs
+        every declared range.
+        """
+        self._hot_regions.append((lo, hi))
         return self
 
     def words(self, addr: int, values) -> "Assembler":
@@ -76,7 +105,11 @@ class Assembler:
             labels=dict(self._labels),
             data=dict(self._data),
             name=self._name,
-            hot_region=self._hot_region,
+            # hot_region keeps its historical single-range shape (the
+            # last declaration) for fingerprints and existing callers;
+            # hot_regions carries the full set for warm-up.
+            hot_region=self._hot_regions[-1] if self._hot_regions else None,
+            hot_regions=tuple(self._hot_regions),
         )
 
     # ------------------------------------------------------------------
@@ -183,7 +216,8 @@ class Assembler:
     # control
     # ------------------------------------------------------------------
     def _branch(self, op: Opcode, a: int, b: int, target: str) -> "Assembler":
-        return self.emit(Instruction(op, srcs=(a, b), target=target))
+        return self.emit(Instruction(op, srcs=(a, b),
+                                     target=self._scope_prefix + target))
 
     def beq(self, a, b, target):
         return self._branch(Opcode.BEQ, a, b, target)
@@ -198,17 +232,23 @@ class Assembler:
         return self._branch(Opcode.BGE, a, b, target)
 
     def j(self, target):
-        return self.emit(Instruction(Opcode.J, target=target))
+        return self.emit(Instruction(Opcode.J,
+                                     target=self._scope_prefix + target))
 
     def jal(self, dst, target):
         """Jump and link: dst <- return PC, jump to ``target``."""
-        return self.emit(Instruction(Opcode.JAL, dst=dst, target=target))
+        return self.emit(Instruction(Opcode.JAL, dst=dst,
+                                     target=self._scope_prefix + target))
 
     def jr(self, src):
         """Indirect jump to the byte PC held in ``src``."""
         return self.emit(Instruction(Opcode.JR, srcs=(src,)))
 
     def halt(self):
+        if self._halt_to is not None:
+            # Subprogram mode: the phase ends by falling through to its
+            # successor (an unscoped label), not by stopping the machine.
+            return self.emit(Instruction(Opcode.J, target=self._halt_to))
         return self.emit(Instruction(Opcode.HALT))
 
     def nop(self):

@@ -52,6 +52,11 @@ class Program:
     #: state (workload kernels declare their hot tables; the timing
     #: models' warm-up pre-installs exactly this range in the L1D).
     hot_region: tuple[int, int] | None = None
+    #: Every declared hot range, in declaration order.  Single-region
+    #: programs (the named suite) carry one entry equal to
+    #: ``hot_region``; composed multi-phase programs (``repro.wgen``)
+    #: carry one per phase that declared one — warm-up installs all.
+    hot_regions: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         for addr in self.data:

@@ -1,0 +1,64 @@
+"""Procedural workload generation and characterisation (``repro.wgen``).
+
+The layer between the ISA/functional core and the campaign harness that
+turns the workload suite from a constant into an axis: declarative
+:class:`WorkloadSpec`s (:mod:`.spec`), a phase-structured composer over
+the archetype builders (:mod:`.compose`), a seeded suite-of-N sampler
+(:mod:`.generate`), a Table-2-style characterisation pipeline
+(:mod:`.characterize`), and the name registry / CLI-shorthand resolver
+(:mod:`.registry`).  Generated workloads run through ``run_suite``, the
+sweeps, and the figures interchangeably with the named suite — traces
+land in the engine's trace cache and results in the RAM memo and the
+persistent store, keyed by fingerprints the spec composes into.
+"""
+
+from .characterize import (
+    Characterization,
+    characterize,
+    characterize_suite,
+    format_characterizations,
+)
+from .compose import build_workload, phase_data_base
+from .generate import ARCHETYPE_POOL, generate_suite, generate_workload
+from .registry import (
+    load_spec_file,
+    register,
+    registered,
+    resolve,
+    resolve_workloads,
+)
+from .spec import (
+    PhaseSpec,
+    WorkloadSpec,
+    payload_to_spec,
+    payload_to_suite,
+    spec_to_payload,
+    suite_to_payload,
+    with_phase_iterations,
+    workload_name,
+)
+
+__all__ = [
+    "ARCHETYPE_POOL",
+    "Characterization",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "build_workload",
+    "characterize",
+    "characterize_suite",
+    "format_characterizations",
+    "generate_suite",
+    "generate_workload",
+    "load_spec_file",
+    "payload_to_spec",
+    "payload_to_suite",
+    "phase_data_base",
+    "register",
+    "registered",
+    "resolve",
+    "resolve_workloads",
+    "spec_to_payload",
+    "suite_to_payload",
+    "with_phase_iterations",
+    "workload_name",
+]

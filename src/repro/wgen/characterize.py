@@ -1,0 +1,152 @@
+"""Workload characterisation: Table-2-style self-documentation.
+
+Generated suites must be as legible as the named one, whose Table 2
+characterisation was hand-tuned.  This pipeline runs the *functional*
+executor over a workload (through the engine's trace cache, so the
+trace is shared with any timing campaign at the same budget) and
+reports, per kernel:
+
+* the instruction mix (loads / stores / branches per kilo-instruction),
+* the data footprint in 64-byte lines,
+* **miss proxies** — misses per kilo-instruction of the raw address
+  stream against the Table 1 D$ (32 KB/4-way) and L2 (1 MB/8-way) tag
+  arrays, replayed through the same :class:`~repro.memory.cache.Cache`
+  LRU model the timing hierarchy uses.  No MSHRs, stream buffers, or
+  victim caches — these are locality measures of the *workload*, not
+  predictions of any machine's miss rate;
+* a **branch-mispredict proxy** — a per-PC 2-bit-counter predictor over
+  the trace's branch outcomes (entropy of the control stream, not a PPM
+  prediction);
+* dataflow structure — the ILP bound and the chained-load fraction /
+  depth of :mod:`repro.functional.analysis` (the dependent-miss
+  signature of Figures 1c/1d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..functional.analysis import dataflow_stats, load_chain_stats
+from ..memory.cache import Cache
+from ..memory.hierarchy import HierarchyConfig
+from .spec import WorkloadSpec, workload_name
+
+
+@dataclass
+class Characterization:
+    """One workload's functional characterisation."""
+
+    name: str
+    mix: str                     # archetype (suite) or phase chain (wgen)
+    instructions: int
+    loads_per_ki: float
+    stores_per_ki: float
+    branches_per_ki: float
+    footprint_lines: int
+    d_mpki: float                # D$ miss proxy (32 KB/4-way tag replay)
+    l2_mpki: float               # L2 miss proxy (1 MB/8-way tag replay)
+    branch_mpki: float           # 2-bit-counter mispredict proxy
+    ilp_bound: float
+    chained_load_fraction: float
+    max_chain_depth: int
+
+
+def _miss_proxies(trace, hierarchy: HierarchyConfig) -> tuple[int, int]:
+    """(D$, L2) tag-array misses of the trace's raw address stream."""
+    l1d = Cache(hierarchy.l1d)
+    l2 = Cache(hierarchy.l2)
+    d_misses = l2_misses = 0
+    for dyn in trace:
+        addr = dyn.addr
+        if addr is None:
+            continue
+        if not l1d.lookup(hierarchy.l1d.line_addr(addr)):
+            d_misses += 1
+            l1d.insert(hierarchy.l1d.line_addr(addr))
+            if not l2.lookup(hierarchy.l2.line_addr(addr)):
+                l2_misses += 1
+                l2.insert(hierarchy.l2.line_addr(addr))
+    return d_misses, l2_misses
+
+
+def _branch_mispredicts(trace) -> int:
+    """Mispredicts of a per-PC 2-bit saturating counter (entropy proxy)."""
+    counters: dict[int, int] = {}
+    mispredicts = 0
+    for dyn in trace:
+        if not dyn.is_branch:
+            continue
+        counter = counters.get(dyn.pc, 2)
+        if (counter >= 2) != dyn.taken:
+            mispredicts += 1
+        if dyn.taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        counters[dyn.pc] = counter
+    return mispredicts
+
+
+def characterize(workload, instructions: int,
+                 hierarchy: HierarchyConfig | None = None) -> Characterization:
+    """Characterise one workload (suite kernel name or WorkloadSpec).
+
+    The trace comes from the engine's cache, so a characterisation
+    immediately before or after a timing campaign at the same budget
+    re-executes nothing.
+    """
+    from ..exec.cache import TRACE_CACHE
+
+    hierarchy = hierarchy if hierarchy is not None else HierarchyConfig.hpca09()
+    trace = TRACE_CACHE.get(workload, instructions)
+    n = len(trace)
+    per_ki = 1000.0 / max(1, n)
+    d_misses, l2_misses = _miss_proxies(trace, hierarchy)
+    flow = dataflow_stats(trace)
+    chains = load_chain_stats(trace)
+    if isinstance(workload, WorkloadSpec):
+        mix = workload.archetype_mix
+    else:
+        from ..workloads.suite import _SUITE_SPEC
+
+        mix = _SUITE_SPEC[workload][0]
+    return Characterization(
+        name=workload_name(workload),
+        mix=mix,
+        instructions=n,
+        loads_per_ki=trace.num_loads * per_ki,
+        stores_per_ki=trace.num_stores * per_ki,
+        branches_per_ki=trace.num_branches * per_ki,
+        footprint_lines=trace.mem_footprint_lines(),
+        d_mpki=d_misses * per_ki,
+        l2_mpki=l2_misses * per_ki,
+        branch_mpki=_branch_mispredicts(trace) * per_ki,
+        ilp_bound=flow.ilp_bound,
+        chained_load_fraction=chains.chained_load_fraction,
+        max_chain_depth=chains.max_chain_depth,
+    )
+
+
+def characterize_suite(workloads, instructions: int) -> list[Characterization]:
+    """Characterise a whole (named or generated) suite."""
+    return [characterize(w, instructions) for w in workloads]
+
+
+def format_characterizations(rows: list[Characterization]) -> str:
+    """The Table-2-style text table ``repro wgen characterize`` prints."""
+    lines = [
+        "Workload characterisation (functional proxies, "
+        f"{rows[0].instructions if rows else 0} instructions)",
+        f"{'workload':16s} {'ld/KI':>6s} {'st/KI':>6s} {'br/KI':>6s} "
+        f"{'D$/KI':>6s} {'L2/KI':>6s} {'brMP/KI':>8s} {'lines':>7s} "
+        f"{'ILP':>5s} {'chain':>6s} {'depth':>6s}  mix",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:16s} {row.loads_per_ki:6.1f} {row.stores_per_ki:6.1f} "
+            f"{row.branches_per_ki:6.1f} {row.d_mpki:6.1f} {row.l2_mpki:6.1f} "
+            f"{row.branch_mpki:8.1f} {row.footprint_lines:7d} "
+            f"{row.ilp_bound:5.1f} {row.chained_load_fraction:6.0%} "
+            f"{row.max_chain_depth:6d}  {row.mix}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""The phase-structured program composer.
+
+``build_workload`` turns a :class:`~repro.wgen.spec.WorkloadSpec` into a
+runnable :class:`~repro.workloads.builders.Kernel` by stitching the
+archetype builders of :mod:`repro.workloads.archetypes` — written as
+standalone whole programs — into one multi-phase program:
+
+* each phase's builder emits inside an
+  :meth:`~repro.isa.assembler.Assembler.subprogram` scope, so its labels
+  (``inner``, ``join``, ...) cannot collide with another phase's;
+* the builder's final ``halt`` becomes a jump to the next phase's entry
+  label, and the last phase jumps back to phase 0 — the composed
+  program cycles through its phases forever, exactly like the named
+  suite's unbounded kernels, with the functional executor's instruction
+  budget bounding dynamic length;
+* each phase's data lives in its own
+  :data:`~repro.workloads.builders.PHASE_REGION_BYTES` slice of the
+  address space (``params.data_base`` is overridden per phase), so a
+  pointer-chase phase and a streaming phase never alias each other's
+  structures.
+
+Phase *trip counts* (``params.iterations``) are finite and control how
+long each phase runs before handing off — the knob behind
+pointer-chase -> compute-bound -> streaming programs whose behaviour
+*changes* within one sampling window, which no fixed-suite kernel does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..isa.assembler import Assembler
+from ..workloads.archetypes import ARCHETYPES
+from ..workloads.builders import DATA_BASE, PHASE_REGION_BYTES, Kernel
+from .spec import WorkloadSpec
+
+#: Phase entry labels (unscoped, owned by the composer).
+_PHASE_LABEL = "__phase{index}"
+
+
+def phase_data_base(index: int) -> int:
+    """Data-segment base of phase ``index`` in a composed program."""
+    return DATA_BASE + index * PHASE_REGION_BYTES
+
+
+def build_workload(spec: WorkloadSpec) -> Kernel:
+    """Materialise a spec into an assembled multi-phase kernel."""
+    assembler = Assembler(spec.name)
+    count = len(spec.phases)
+    for index, phase in enumerate(spec.phases):
+        params = replace(phase.params, data_base=phase_data_base(index))
+        successor = _PHASE_LABEL.format(index=(index + 1) % count)
+        assembler.label(_PHASE_LABEL.format(index=index))
+        with assembler.subprogram(f"p{index}", halt_to=successor):
+            ARCHETYPES[phase.archetype](assembler, params)
+    program = assembler.assemble()
+    return Kernel(
+        name=spec.name,
+        program=program,
+        archetype=spec.archetype_mix,
+        params=spec.phases[0].params,
+        description=spec.description,
+    )

@@ -1,0 +1,141 @@
+"""Seeded procedural workload generation — the "suite of N" mode.
+
+``generate_suite(count, seed)`` samples ``count`` workload specs from a
+parameter space spanning every archetype family, deterministically: the
+only randomness source is one ``random.Random(seed)``, so the same
+``(count, seed, knobs)`` always yields byte-identical specs — and hence
+identical fingerprints, traces, and store records — on any process and
+any ``PYTHONHASHSEED``.
+
+Sampling ranges mirror the spread the fixed suite was tuned to (Table
+2): footprints from cache-resident to many-times-L2, compute densities
+from scan-like to arithmetic-dense, branch entropy from none to
+coin-flip.  Multi-phase workloads chain 1..``max_phases`` archetypes
+(pointer-chase -> compute -> streaming and every other combination),
+opening the phase-change scenarios a frozen suite cannot express.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..workloads.builders import KernelParams
+from .spec import PhaseSpec, WorkloadSpec
+
+KB = 1024
+MB = 1024 * KB
+
+#: Archetypes the sampler draws from ("compute" is random_access with
+#: cache-resident parameters, so it is covered by that family).
+ARCHETYPE_POOL = (
+    "pointer_chase",
+    "streaming",
+    "strided_fp",
+    "random_access",
+    "branchy",
+    "blocked_matrix",
+    "hash_join",
+)
+
+#: Per-phase trip counts: enough iterations that a phase holds its
+#: behaviour for a stretch of the instruction budget, small enough that
+#: multi-phase programs actually rotate within one sampled window.
+_MIN_ITERATIONS, _MAX_ITERATIONS = 48, 256
+
+
+def _log_uniform_bytes(rng: random.Random, lo: int, hi: int) -> int:
+    """A power-of-two-ish size between lo and hi (log-uniform)."""
+    return 1 << rng.randint(lo.bit_length() - 1, hi.bit_length() - 1)
+
+
+def _sample_phase(rng: random.Random, archetype: str) -> PhaseSpec:
+    """One phase's tuning record, sampled per archetype family."""
+    footprint = _log_uniform_bytes(rng, 128 * KB, 8 * MB)
+    hot = _log_uniform_bytes(rng, 8 * KB, 64 * KB)
+    compute = rng.choice((0, 1, 2, 4, 7, 12, 20, 34))
+    seed = rng.randint(1, 1 << 30)
+    iterations = rng.randint(_MIN_ITERATIONS, _MAX_ITERATIONS)
+    common = dict(footprint_bytes=footprint, hot_bytes=hot, compute=compute,
+                  iterations=iterations, seed=seed)
+    if archetype == "pointer_chase":
+        params = KernelParams(
+            chains=rng.choice((1, 1, 2, 3)),
+            arc_loads=rng.choice((0, 1, 1, 2)),
+            arc_bytes=_log_uniform_bytes(rng, 128 * KB, 4 * MB),
+            use_fp=rng.random() < 0.3,
+            **common)
+    elif archetype in ("streaming", "strided_fp"):
+        params = KernelParams(
+            stride_bytes=rng.choice((8, 16, 16, 64)),
+            cold_period=rng.choice((0, 8, 16, 32, 64)),
+            cold_random=rng.random() < 0.25,
+            stores=rng.random() < 0.4,
+            use_fp=True if archetype == "strided_fp" else rng.random() < 0.6,
+            **common)
+    elif archetype == "random_access":
+        params = KernelParams(
+            cold_period=rng.choice((8, 16, 32)),
+            use_fp=rng.random() < 0.2,
+            **common)
+    elif archetype == "branchy":
+        params = KernelParams(
+            stride_bytes=64,
+            cold_period=rng.choice((0, 8, 16)),
+            **common)
+    elif archetype == "blocked_matrix":
+        params = KernelParams(
+            stride_bytes=rng.choice((512, 1024, 4096)),
+            stores=rng.random() < 0.6,
+            use_fp=True,
+            **common)
+    else:  # hash_join
+        params = KernelParams(
+            unpredictable_branches=rng.choice((0.0, 0.25, 0.5, 1.0)),
+            chain_depth=rng.randint(1, 3),
+            stores=rng.random() < 0.5,
+            **common)
+    return PhaseSpec(archetype=archetype, params=params)
+
+
+def generate_workload(rng: random.Random, name: str, seed: int,
+                      max_phases: int = 3,
+                      archetypes=ARCHETYPE_POOL) -> WorkloadSpec:
+    """Sample one phase-structured workload from ``rng``."""
+    # Favour 1-2 phases, allow up to the ceiling (uniform tail weight).
+    weights = ((6, 3, 1) + (1,) * max(0, max_phases - 3))[:max_phases]
+    n_phases = rng.choices(range(1, len(weights) + 1), weights=weights)[0]
+    phases = tuple(_sample_phase(rng, rng.choice(list(archetypes)))
+                   for _ in range(n_phases))
+    mix = ">".join(p.archetype for p in phases)
+    return WorkloadSpec(name=name, phases=phases, seed=seed,
+                        description=f"generated: {mix}")
+
+
+def generate_suite(count: int, seed: int, max_phases: int = 3,
+                   archetypes=ARCHETYPE_POOL) -> list[WorkloadSpec]:
+    """``count`` deterministic workload specs for generator ``seed``."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if max_phases < 1:
+        raise ValueError("max_phases must be >= 1")
+    unknown = [a for a in archetypes if a not in ARCHETYPE_POOL]
+    if unknown:
+        raise ValueError(f"unknown archetypes: {unknown}; "
+                         f"choose from {list(ARCHETYPE_POOL)}")
+    # Non-default sampler knobs produce different specs for the same
+    # seed, so their names must not collide with the canonical
+    # ``gen{seed}_NN`` series (the registry rejects one name binding
+    # two specs); a short knob digest keeps them distinct.
+    if max_phases == 3 and tuple(archetypes) == ARCHETYPE_POOL:
+        prefix = f"gen{seed}"
+    else:
+        import hashlib
+
+        knobs = repr((max_phases, tuple(archetypes)))
+        prefix = f"gen{seed}v{hashlib.sha256(knobs.encode()).hexdigest()[:6]}"
+    rng = random.Random(seed)
+    return [
+        generate_workload(rng, f"{prefix}_{index:02d}", seed,
+                          max_phases=max_phases, archetypes=archetypes)
+        for index in range(count)
+    ]

@@ -1,0 +1,113 @@
+"""Name registry and workload-reference resolution.
+
+The harness layers (suite runner, sweeps, figures, CLI) identify
+workloads by *reference*: either a named-suite kernel (``str``) or a
+generated :class:`~repro.wgen.spec.WorkloadSpec`.  Execution never
+needs a registry — specs are self-contained and travel inside job
+specs — but names are how humans and the CLI address things, so this
+module keeps a process-wide ``name -> spec`` table:
+
+* ``register`` / ``registered`` back ``repro wgen list`` and let a
+  session refer to generated workloads by name (``resolve`` falls back
+  to the registry for names outside the fixed suite);
+* ``resolve_workloads`` normalises a mixed reference list, expanding
+  the two CLI shorthands — ``@file.json`` (a ``repro wgen generate``
+  spec file) and ``gen:N[:SEED]`` (an inline seeded suite of N).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..workloads.suite import ALL_KERNELS
+from .spec import WorkloadSpec, payload_to_suite
+
+#: Process-wide name -> spec table (pool workers never need it: specs
+#: travel inside SimJobs).
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Make ``spec`` addressable by name; returns it for chaining.
+
+    Re-registering the identical spec is a no-op; binding a suite
+    kernel's name or a different spec under a taken name is an error —
+    a name must never silently change which workload it means.
+    """
+    if spec.name in ALL_KERNELS:
+        raise ValueError(
+            f"{spec.name!r} is a named-suite kernel; generated workloads "
+            "must not shadow it"
+        )
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(
+            f"workload name {spec.name!r} already registered with a "
+            "different spec"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered() -> dict[str, WorkloadSpec]:
+    """A snapshot of the registry (name -> spec)."""
+    return dict(_REGISTRY)
+
+
+def clear() -> None:
+    """Forget all registered specs (tests)."""
+    _REGISTRY.clear()
+
+
+def resolve(name: str) -> str | WorkloadSpec:
+    """A single name to a workload reference (suite name or spec)."""
+    if name in ALL_KERNELS:
+        return name
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    raise KeyError(
+        f"unknown workload {name!r}: neither a suite kernel nor a "
+        "registered generated workload"
+    )
+
+
+def load_spec_file(path: str) -> list[WorkloadSpec]:
+    """Load and register the specs of a ``repro wgen generate`` file."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [register(spec) for spec in payload_to_suite(payload)]
+
+
+def resolve_workloads(refs) -> list:
+    """Normalise a mixed workload-reference list for the harness.
+
+    Accepts suite kernel names, registered generated names,
+    :class:`WorkloadSpec` instances, ``@path.json`` spec files, and
+    ``gen:N[:SEED]`` inline generated suites; returns a flat list of
+    suite names and specs (the shapes ``SimJob`` accepts).  Specs
+    arriving by value or by file are registered as a side effect.
+    """
+    from .generate import generate_suite
+
+    resolved: list = []
+    for ref in refs:
+        if isinstance(ref, WorkloadSpec):
+            resolved.append(register(ref))
+        elif ref.startswith("@"):
+            resolved.extend(load_spec_file(ref[1:]))
+        elif ref.startswith("gen:"):
+            parts = ref.split(":")
+            if len(parts) not in (2, 3) or not parts[1].isdigit() or (
+                    len(parts) == 3 and not parts[2].isdigit()):
+                raise ValueError(
+                    f"bad generated-suite reference {ref!r}: use gen:N or "
+                    "gen:N:SEED"
+                )
+            count = int(parts[1])
+            seed = int(parts[2]) if len(parts) == 3 else 0
+            resolved.extend(register(spec)
+                            for spec in generate_suite(count, seed))
+        else:
+            resolved.append(resolve(ref))
+    return resolved

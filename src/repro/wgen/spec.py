@@ -1,0 +1,185 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` *is* a workload: a named, seeded sequence of
+phases, each an archetype (:data:`repro.workloads.archetypes.ARCHETYPES`)
+with a :class:`~repro.workloads.builders.KernelParams` tuning record.
+Specs are frozen dataclasses of primitives, which buys three properties
+the campaign infrastructure builds on:
+
+* **picklable** — a spec rides inside a :class:`~repro.exec.job.SimJob`
+  to pooled worker processes, which rebuild the program from it;
+* **fingerprintable** — :func:`repro.exec.fingerprint.canonical` folds
+  the whole spec into the job's sha256 fingerprint, so generated
+  workloads memoize in RAM and persist in the disk store exactly like
+  the named suite (two specs share records iff they are field-for-field
+  equal);
+* **serialisable** — the JSON round-trip (:func:`spec_to_payload` /
+  :func:`payload_to_spec`) is the ``repro wgen generate`` file format.
+
+The program itself is materialised lazily by the phase composer
+(:mod:`repro.wgen.compose`) on whichever process needs the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from functools import cached_property
+
+from ..exec.fingerprint import fingerprint
+from ..workloads.builders import KernelParams
+
+#: Spec-file format tag (the ``repro wgen generate`` output).
+SPEC_SCHEMA = "repro.wgen/v1"
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: an archetype plus its tuning knobs.
+
+    ``params.iterations`` must be *finite* — it is the phase's trip
+    count before control falls through to the next phase (the composer
+    wraps the whole phase sequence in an endless outer loop; the
+    functional executor's instruction budget bounds dynamic length, as
+    it does for the named suite).
+    """
+
+    archetype: str
+    params: KernelParams
+
+    def __post_init__(self) -> None:
+        from ..workloads.archetypes import ARCHETYPES
+
+        if self.archetype not in ARCHETYPES:
+            raise ValueError(
+                f"unknown archetype {self.archetype!r}; "
+                f"choose from {sorted(ARCHETYPES)}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generated workload: named, seeded, phase-structured.
+
+    ``seed`` records the generator seed the spec was sampled with
+    (provenance; phase layouts randomise from their own
+    ``params.seed``).  ``description`` is free text for listings.
+    """
+
+    name: str
+    phases: tuple[PhaseSpec, ...]
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("WorkloadSpec needs a non-empty name")
+        if not self.phases:
+            raise ValueError(f"workload {self.name!r} needs >= 1 phase")
+        object.__setattr__(self, "phases", tuple(self.phases))
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Deterministic sha256 identity of the full spec."""
+        return fingerprint("wgen", self)
+
+    @property
+    def short_id(self) -> str:
+        return self.fingerprint[:10]
+
+    @property
+    def archetype_mix(self) -> str:
+        """Human-readable phase chain, e.g. ``hash_join>streaming``."""
+        return ">".join(p.archetype for p in self.phases)
+
+
+def workload_name(workload) -> str:
+    """Display/table key of a workload reference.
+
+    The harness accepts suite kernel names (``str``) and
+    :class:`WorkloadSpec` instances interchangeably; result tables are
+    keyed by this name in both cases.
+    """
+    return workload if isinstance(workload, str) else workload.name
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip (the `repro wgen generate` file format)
+# ----------------------------------------------------------------------
+_PARAM_FIELDS = tuple(f.name for f in fields(KernelParams))
+_PARAM_DEFAULTS = KernelParams()
+
+
+def spec_to_payload(spec: WorkloadSpec) -> dict:
+    """One spec as a JSON-ready dict (non-default params only)."""
+    return {
+        "name": spec.name,
+        "seed": spec.seed,
+        "description": spec.description,
+        "fingerprint": spec.fingerprint,
+        "phases": [
+            {
+                "archetype": phase.archetype,
+                "params": {
+                    name: getattr(phase.params, name)
+                    for name in _PARAM_FIELDS
+                    if getattr(phase.params, name)
+                    != getattr(_PARAM_DEFAULTS, name)
+                },
+            }
+            for phase in spec.phases
+        ],
+    }
+
+
+def payload_to_spec(payload: dict) -> WorkloadSpec:
+    """Rebuild a spec from :func:`spec_to_payload` output.
+
+    The recorded fingerprint, when present, is verified — a spec file
+    edited by hand (or written by a different KernelParams revision)
+    must fail loudly, not silently name different store records.
+    """
+    spec = WorkloadSpec(
+        name=str(payload["name"]),
+        phases=tuple(
+            PhaseSpec(
+                archetype=str(phase["archetype"]),
+                params=KernelParams(**phase.get("params", {})),
+            )
+            for phase in payload["phases"]
+        ),
+        seed=int(payload.get("seed", 0)),
+        description=str(payload.get("description", "")),
+    )
+    recorded = payload.get("fingerprint")
+    if recorded is not None and recorded != spec.fingerprint:
+        raise ValueError(
+            f"spec {spec.name!r}: recorded fingerprint {recorded[:12]}... "
+            f"does not match the rebuilt spec ({spec.fingerprint[:12]}...); "
+            "the file was edited or written by an incompatible version"
+        )
+    return spec
+
+
+def suite_to_payload(specs, generator: dict | None = None) -> dict:
+    """A whole generated suite as the spec-file payload."""
+    return {
+        "schema": SPEC_SCHEMA,
+        "generator": dict(generator or {}),
+        "specs": [spec_to_payload(spec) for spec in specs],
+    }
+
+
+def payload_to_suite(payload: dict) -> list[WorkloadSpec]:
+    if payload.get("schema") != SPEC_SCHEMA:
+        raise ValueError(
+            f"not a {SPEC_SCHEMA} spec file (schema={payload.get('schema')!r})"
+        )
+    return [payload_to_spec(entry) for entry in payload["specs"]]
+
+
+def with_phase_iterations(spec: WorkloadSpec, iterations: int) -> WorkloadSpec:
+    """A copy of ``spec`` with every phase's trip count replaced."""
+    return replace(spec, phases=tuple(
+        PhaseSpec(p.archetype, replace(p.params, iterations=iterations))
+        for p in spec.phases
+    ))

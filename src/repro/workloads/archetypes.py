@@ -15,13 +15,22 @@ L2 miss rates against the paper's Table 2 characterisation.
 from __future__ import annotations
 
 from ..isa.registers import R
-from .builders import DATA_BASE, KernelParams, emit_compute, rng_for
+from .builders import (
+    COLD_OFFSET,
+    DATA_BASE,
+    KernelParams,
+    cold_base,
+    emit_compute,
+    rng_for,
+)
 
 #: One list node per cache line (next pointer + payload).
 NODE_BYTES = 64
 
-#: Cold regions live far above the hot data.
-COLD_BASE = DATA_BASE + (32 << 20)
+#: Cold-region base for default-placed kernels (the fixed suite).
+#: Builders use :func:`~repro.workloads.builders.cold_base` so composed
+#: phases each get their own region; this constant is the default case.
+COLD_BASE = DATA_BASE + COLD_OFFSET
 
 
 def build_pointer_chase(a, params: KernelParams) -> None:
@@ -34,6 +43,7 @@ def build_pointer_chase(a, params: KernelParams) -> None:
     level the chain misses in, and ``compute`` dilutes the miss rate.
     """
     rng = rng_for(params)
+    data_base = params.data_base
     chains = max(1, min(params.chains, 3))
     nodes_per_chain = max(8, params.footprint_bytes // NODE_BYTES // chains)
     cursors = (R.r1, R.r5, R.r6)[:chains]
@@ -41,7 +51,7 @@ def build_pointer_chase(a, params: KernelParams) -> None:
     for chain in range(chains):
         order = list(range(nodes_per_chain))
         rng.shuffle(order)
-        base = COLD_BASE + chain * nodes_per_chain * NODE_BYTES
+        base = cold_base(params) + chain * nodes_per_chain * NODE_BYTES
         ring = [base + node * NODE_BYTES for node in order]
         for pos, addr in enumerate(ring):
             successor = ring[(pos + 1) % len(ring)]
@@ -57,8 +67,8 @@ def build_pointer_chase(a, params: KernelParams) -> None:
         # follows its size: small tables stay L2-resident (twolf/vpr),
         # tables beyond the L2 leave a DRAM-miss tail (mcf).
         for i in range(arc_lines):
-            a.word(DATA_BASE + i * 64, (i * 11 + 5) % 997)
-        a.li(R.r10, DATA_BASE)                 # arc table base
+            a.word(data_base + i * 64, (i * 11 + 5) % 997)
+        a.li(R.r10, data_base)                 # arc table base
         a.li(R.r13, params.seed * 69621 % (1 << 31))
         a.li(R.r14, 1103515245)
         a.li(R.r15, 27)
@@ -101,8 +111,8 @@ def _init_cold_walk(a, params: KernelParams) -> None:
     # the walk must take real L2 misses, like the capacity misses of the
     # original workloads.
     cold_lines = max(16, params.footprint_bytes // 64)
-    a.li(R.r10, COLD_BASE)
-    a.li(R.r12, COLD_BASE + cold_lines * 64)
+    a.li(R.r10, cold_base(params))
+    a.li(R.r12, cold_base(params) + cold_lines * 64)
     a.li(R.r16, params.cold_period)
     if params.cold_random:
         # LCG-addressed walk: defeats the stream buffers, so every cold
@@ -136,7 +146,7 @@ def _emit_cold_tick(a, params: KernelParams) -> None:
         a.ld(R.r14, R.r10, 0)
         a.addi(R.r10, R.r10, 64)
         a.blt(R.r10, R.r12, "cold_use")
-        a.li(R.r10, COLD_BASE)
+        a.li(R.r10, cold_base(params))
         a.label("cold_use")
     # The fetched value is consumed — an in-order pipeline stalls on it.
     a.add(R.r18, R.r18, R.r14)
@@ -152,11 +162,12 @@ def build_streaming(a, params: KernelParams) -> None:
     miss rate, the cold walk sets the L2 miss rate, and both expose the
     independent misses of Figure 1b.
     """
+    data_base = params.data_base
     words = max(64, params.hot_bytes // 8)
-    end = DATA_BASE + words * 8
+    end = data_base + words * 8
     step = max(1, params.stride_bytes // 8)
     for i in range(0, words, step):
-        a.word(DATA_BASE + i * 8, i % 251)
+        a.word(data_base + i * 8, i % 251)
     _init_cold_walk(a, params)
     acc = R.f1 if params.use_fp else R.r3
     tmp = R.f2 if params.use_fp else R.r4
@@ -166,7 +177,7 @@ def build_streaming(a, params: KernelParams) -> None:
     a.li(R.r2, end)
     a.li(R.r5, params.iterations)
     a.label("outer")
-    a.li(R.r1, DATA_BASE)
+    a.li(R.r1, data_base)
     a.label("inner")
     load(tmp, R.r1, 0)
     emit_compute(a, params, acc, tmp)
@@ -184,19 +195,24 @@ def build_strided_fp(a, params: KernelParams) -> None:
     """Three-point FP stencil with store-back plus a periodic cold walk
     (equake/facerec/wupwise)."""
     words = max(64, params.hot_bytes // 16)  # two arrays: in + out
-    in_base = DATA_BASE
-    out_base = DATA_BASE + words * 8
+    in_base = params.data_base
+    out_base = in_base + words * 8
     step = max(1, params.stride_bytes // 8)
     for i in range(0, words, step):
         a.word(in_base + i * 8, (i % 97) + 1)
     _init_cold_walk(a, params)
     end = in_base + (words - 4) * 8
+    # The *random* cold walk keeps its LCG state in r6, so the out
+    # cursor must move aside when both are enabled.  The fixed suite
+    # never combines strided_fp with cold_random (only the generator
+    # does), so the default keeps those programs byte-identical.
+    out_cur = R.r9 if (params.cold_period and params.cold_random) else R.r6
 
     a.li(R.r2, end)
     a.li(R.r5, params.iterations)
     a.label("outer")
     a.li(R.r1, in_base)
-    a.li(R.r6, out_base)
+    a.li(out_cur, out_base)
     a.label("inner")
     a.ldf(R.f1, R.r1, 0)
     a.ldf(R.f2, R.r1, 8)
@@ -204,10 +220,10 @@ def build_strided_fp(a, params: KernelParams) -> None:
     a.fadd(R.f4, R.f1, R.f2)
     a.fadd(R.f4, R.f4, R.f3)
     emit_compute(a, params, R.f4, R.f1)
-    a.stf(R.f4, R.r6, 0)
+    a.stf(R.f4, out_cur, 0)
     _emit_cold_tick(a, params)
     a.addi(R.r1, R.r1, params.stride_bytes)
-    a.addi(R.r6, R.r6, params.stride_bytes)
+    a.addi(out_cur, out_cur, params.stride_bytes)
     a.blt(R.r1, R.r2, "inner")
     a.addi(R.r5, R.r5, -1)
     a.bne(R.r5, R.r0, "outer")
@@ -224,18 +240,19 @@ def build_random_access(a, params: KernelParams) -> None:
     ``cold_period`` accesses visits the cold table; the selection branch
     is mostly-taken and cheap to predict.
     """
+    data_base, cold = params.data_base, cold_base(params)
     hot_words = 1 << (max(64, params.hot_bytes // 8).bit_length() - 1)
     cold_lines = 1 << (max(16, params.footprint_bytes // 64).bit_length() - 1)
-    a.hot_region(DATA_BASE, DATA_BASE + hot_words * 8)
+    a.hot_region(data_base, data_base + hot_words * 8)
     for i in range(0, hot_words, 8):
-        a.word(DATA_BASE + i * 8, i % 127)
+        a.word(data_base + i * 8, i % 127)
     for i in range(cold_lines):
-        a.word(COLD_BASE + i * 64, (i * 13 + 7) % 509)
+        a.word(cold + i * 64, (i * 13 + 7) % 509)
 
     a.li(R.r6, params.seed * 2654435761 % (1 << 31))
     a.li(R.r7, 1103515245)
-    a.li(R.r9, DATA_BASE)
-    a.li(R.r15, COLD_BASE)
+    a.li(R.r9, data_base)
+    a.li(R.r15, cold)
     a.li(R.r17, 27)                          # cold-index shift amount
     a.li(R.r2, params.iterations)
     a.li(R.r3, 0)
@@ -268,26 +285,27 @@ def build_branchy(a, params: KernelParams) -> None:
     predictor on ~half the iterations, mixing mispredict flushes with
     D$ misses — the low-MLP SPECint profile.
     """
+    data_base, cold = params.data_base, cold_base(params)
     words = max(64, params.hot_bytes // 8)
     rng = rng_for(params)
     step = max(1, params.stride_bytes // 8)
-    a.hot_region(DATA_BASE, DATA_BASE + words * 8)
+    a.hot_region(data_base, data_base + words * 8)
     for i in range(0, words, step):
-        a.word(DATA_BASE + i * 8, rng.getrandbits(16))
+        a.word(data_base + i * 8, rng.getrandbits(16))
     cold_lines = 1 << (max(16, params.footprint_bytes // 64).bit_length() - 1)
     for i in range(cold_lines):
-        a.word(COLD_BASE + i * 64, i % 509)
-    end = DATA_BASE + words * 8
+        a.word(cold + i * 64, i % 509)
+    end = data_base + words * 8
 
     a.li(R.r2, end)
     a.li(R.r5, params.iterations)
     a.li(R.r3, 0)
-    a.li(R.r15, COLD_BASE)
+    a.li(R.r15, cold)
     a.li(R.r17, 27)
     a.li(R.r6, 88172645463325252 % (1 << 31))
     a.li(R.r7, 1103515245)
     a.label("outer")
-    a.li(R.r1, DATA_BASE)
+    a.li(R.r1, data_base)
     a.label("inner")
     a.ld(R.r4, R.r1, 0)
     a.andi(R.r8, R.r4, 1)
@@ -315,6 +333,119 @@ def build_branchy(a, params: KernelParams) -> None:
     a.halt()
 
 
+def build_blocked_matrix(a, params: KernelParams) -> None:
+    """Tiled dense-matrix kernel (blocked GEMM traffic).
+
+    A tile of ``hot_bytes`` is swept sequentially (L1-resident compute)
+    while the second operand walks a ``footprint_bytes`` matrix at a
+    large column stride (``stride_bytes`` plays the row length) —
+    regular-but-far accesses that miss every line yet never look like a
+    next-line stream.  The mix of dense FP compute over a resident tile
+    with a fixed-stride far-operand miss stream is a behaviour the
+    fixed suite lacks (its streaming kernels advance line by line).
+    """
+    data_base = params.data_base
+    tile_words = max(64, params.hot_bytes // 8)
+    matrix_words = max(tile_words * 2, params.footprint_bytes // 8)
+    col_stride = max(64, params.stride_bytes)
+    for i in range(0, matrix_words * 8, col_stride):
+        a.word(data_base + i, (i // 8 * 29 + 3) % 1021)
+    tile_base = data_base + matrix_words * 8
+    for i in range(tile_words):
+        a.word(tile_base + i * 8, i % 113)
+    a.hot_region(tile_base, tile_base + tile_words * 8)
+    matrix_end = data_base + matrix_words * 8
+
+    a.li(R.r2, params.iterations)
+    a.li(R.r9, data_base)              # column cursor (persists per tile)
+    a.li(R.r10, matrix_end)
+    a.label("tile")
+    a.li(R.r1, tile_base)
+    a.li(R.r3, tile_base + tile_words * 8)
+    a.label("inner")
+    a.ldf(R.f1, R.r1, 0)               # tile element: hot
+    a.ldf(R.f2, R.r9, 0)               # column operand: far, strided
+    a.fmadd(R.f3, R.f1, R.f2, R.f3)
+    emit_compute(a, params, R.f3, R.f1)
+    if params.stores:
+        a.stf(R.f3, R.r1, 0)           # write the tile back (C update)
+    a.addi(R.r9, R.r9, col_stride)
+    a.blt(R.r9, R.r10, "no_wrap")
+    a.li(R.r9, data_base)
+    a.label("no_wrap")
+    a.addi(R.r1, R.r1, 8)
+    a.blt(R.r1, R.r3, "inner")
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "tile")
+    a.halt()
+
+
+def build_hash_join(a, params: KernelParams) -> None:
+    """Hash-table probe loop (database join / aggregation).
+
+    Each probe hashes an LCG key into a ``footprint_bytes`` node table,
+    walks ``chain_depth`` *dependent* next-pointer loads (a short
+    bucket chain), and branches on the node payload — random for an
+    ``unpredictable_branches`` fraction of nodes, so the match branch
+    mispredicts at a tunable rate.  Short dependent-miss chains with
+    data-dependent control sit between ``random_access`` (depth 0) and
+    ``pointer_chase`` (chain length ~ footprint) — the join-style
+    behaviour the fixed suite lacks.  With ``stores``, matches also
+    read-modify-write a hot ``hot_bytes`` aggregation table.
+    """
+    rng = rng_for(params, salt=7)
+    data_base = params.data_base
+    lines = 1 << (max(64, params.footprint_bytes // 64).bit_length() - 1)
+    mask = (lines - 1) << 6
+    order = list(range(lines))
+    rng.shuffle(order)
+    for pos, node in enumerate(order):
+        addr = data_base + node * 64
+        a.word(addr, data_base + order[(pos + 1) % lines] * 64)
+        if rng.random() < params.unpredictable_branches:
+            payload = rng.getrandbits(16)
+        else:
+            payload = 0
+        a.word(addr + 8, payload)
+    agg_words = 1 << (max(64, params.hot_bytes // 8).bit_length() - 1)
+    agg_base = data_base + lines * 64
+    for i in range(0, agg_words, 8):
+        a.word(agg_base + i * 8, i % 89)
+    a.hot_region(agg_base, agg_base + agg_words * 8)
+    chain_depth = max(1, min(params.chain_depth, 4))
+
+    a.li(R.r6, params.seed * 2246822519 % (1 << 31))
+    a.li(R.r7, 1103515245)
+    a.li(R.r9, data_base)
+    a.li(R.r15, agg_base)
+    a.li(R.r17, 25)                    # decorrelated-bits shift
+    a.li(R.r2, params.iterations)
+    a.li(R.r3, 0)
+    a.label("probe")
+    a.mul(R.r6, R.r6, R.r7)            # LCG key
+    a.addi(R.r6, R.r6, 12345)
+    a.shr(R.r11, R.r6, R.r17)
+    a.andi(R.r8, R.r11, mask)          # bucket head
+    a.add(R.r8, R.r8, R.r9)
+    for _ in range(chain_depth):
+        a.ld(R.r8, R.r8, 0)            # dependent chain step
+    a.ld(R.r4, R.r8, 8)                # node payload
+    a.andi(R.r5, R.r4, 1)
+    a.beq(R.r5, R.r0, "no_match")      # data-dependent match branch
+    a.add(R.r3, R.r3, R.r4)
+    emit_compute(a, params, R.r3, R.r4)
+    if params.stores:
+        a.andi(R.r12, R.r6, (agg_words - 1) << 3)
+        a.add(R.r12, R.r12, R.r15)
+        a.ld(R.r13, R.r12, 0)          # aggregate: hot RMW
+        a.add(R.r13, R.r13, R.r4)
+        a.st(R.r13, R.r12, 0)
+    a.label("no_match")
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "probe")
+    a.halt()
+
+
 ARCHETYPES = {
     "pointer_chase": build_pointer_chase,
     "streaming": build_streaming,
@@ -322,4 +453,6 @@ ARCHETYPES = {
     "random_access": build_random_access,
     "compute": build_random_access,  # same family, cache-resident params
     "branchy": build_branchy,
+    "blocked_matrix": build_blocked_matrix,
+    "hash_join": build_hash_join,
 }

@@ -21,6 +21,15 @@ from ..isa.program import WORD_BYTES, Program
 #: Data segment base: far above the code, word aligned.
 DATA_BASE = 0x10_0000
 
+#: Cold regions live this far above a kernel's data base.
+COLD_OFFSET = 32 << 20
+
+#: Address space one phase of a composed program may own (data + cold
+#: region).  Generated multi-phase workloads (:mod:`repro.wgen`) place
+#: phase ``i`` at ``DATA_BASE + i * PHASE_REGION_BYTES`` so phases never
+#: alias each other's structures.
+PHASE_REGION_BYTES = 64 << 20
+
 
 @dataclass(frozen=True)
 class KernelParams:
@@ -72,7 +81,17 @@ class KernelParams:
     #: Streaming: make the cold walk randomly addressed (defeats the
     #: stream buffers, so cold misses are DRAM-class).
     cold_random: bool = False
+    #: hash_join: hash-table bucket chain depth (dependent loads/probe).
+    chain_depth: int = 2
+    #: Base address of this kernel's data segment.  The fixed suite uses
+    #: the default; the phase composer gives each phase its own region.
+    data_base: int = DATA_BASE
     seed: int = 1
+
+
+def cold_base(params: KernelParams) -> int:
+    """Base of the kernel's cold region (far above its data base)."""
+    return params.data_base + COLD_OFFSET
 
 
 @dataclass

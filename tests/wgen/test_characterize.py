@@ -1,0 +1,48 @@
+"""Characterisation-pipeline sanity against known workload signatures."""
+
+from repro.wgen import PhaseSpec, WorkloadSpec, characterize
+from repro.workloads.builders import KernelParams
+
+BUDGET = 3000
+
+
+def test_pointer_chaser_vs_resident_compute_signatures():
+    mcf = characterize("mcf_like", BUDGET)
+    mesa = characterize("mesa_like", BUDGET)
+    # The canonical chaser: deep dependent-load chains, DRAM-class
+    # locality.  The rasteriser: shallow chains, cache-resident.
+    assert mcf.chained_load_fraction > 0.5
+    assert mcf.max_chain_depth > 10 * max(1, mesa.max_chain_depth)
+    assert mcf.l2_mpki > mesa.l2_mpki
+    assert mcf.footprint_lines > mesa.footprint_lines
+    assert mcf.mix == "pointer_chase" and mesa.mix == "compute"
+
+
+def test_branch_entropy_proxy_tracks_the_knob():
+    def join(entropy, name):
+        return WorkloadSpec(name=name, phases=(
+            PhaseSpec("hash_join",
+                      KernelParams(footprint_bytes=64 * 1024,
+                                   hot_bytes=8 * 1024,
+                                   unpredictable_branches=entropy,
+                                   chain_depth=1, iterations=64, seed=13)),))
+
+    tame = characterize(join(0.0, "tame"), BUDGET)
+    wild = characterize(join(1.0, "wild"), BUDGET)
+    # All-zero payloads make the match branch static; random payloads
+    # make it a coin flip the 2-bit counters cannot learn.
+    assert wild.branch_mpki > tame.branch_mpki + 20
+
+
+def test_miss_proxies_order_footprints():
+    def stream(footprint_kb, name):
+        return WorkloadSpec(name=name, phases=(
+            PhaseSpec("streaming",
+                      KernelParams(hot_bytes=footprint_kb * 1024,
+                                   stride_bytes=64, compute=0,
+                                   iterations=32, seed=4)),))
+
+    small = characterize(stream(8, "small_ws"), BUDGET)
+    large = characterize(stream(512, "large_ws"), BUDGET)
+    assert large.footprint_lines > small.footprint_lines
+    assert large.d_mpki > small.d_mpki

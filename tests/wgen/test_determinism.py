@@ -1,0 +1,62 @@
+"""Seed determinism across processes (mirrors test_fingerprint_stability).
+
+A generated workload's identity chain — generator seed -> spec ->
+fingerprint -> program -> trace -> store key — must be byte-stable
+across processes and ``PYTHONHASHSEED`` values, or generated campaigns
+would silently cold-start (or worse, collide) between runs.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+#: Emits "spec_fp job_fp trace_sha" for one generated workload.
+_PROBE = """
+import hashlib, sys
+sys.path.insert(0, "src")
+from repro.exec import SimJob
+from repro.exec.cache import TRACE_CACHE
+from repro.harness.experiment import ExperimentConfig
+from repro.wgen import generate_suite
+
+spec = generate_suite(3, seed=21)[2]
+job = SimJob("icfp", spec, ExperimentConfig(instructions=900))
+trace = TRACE_CACHE.get(spec, 900)
+payload = repr([(d.pc, d.addr, d.result, d.taken) for d in trace])
+print(spec.fingerprint, job.fingerprint,
+      hashlib.sha256(payload.encode()).hexdigest())
+"""
+
+
+def probe(hash_seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    out = subprocess.run([sys.executable, "-c", _PROBE], env=env,
+                         capture_output=True, text=True, timeout=120,
+                         cwd=REPO_ROOT)
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+def test_generated_workload_identity_stable_across_processes():
+    lines = {probe(seed) for seed in ("0", "1", "12345")}
+    assert len(lines) == 1, (
+        "generated-workload spec fingerprint / job fingerprint / trace "
+        "bytes drifted across PYTHONHASHSEED values — store keys would "
+        "not survive a process boundary"
+    )
+    spec_fp, job_fp, trace_sha = lines.pop().split()
+    assert len(spec_fp) == 64 and len(job_fp) == 64 and len(trace_sha) == 64
+    assert len({spec_fp, job_fp, trace_sha}) == 3
+
+
+def test_same_spec_same_trace_within_process():
+    from repro.wgen import build_workload, generate_suite
+    from repro.workloads.suite import trace_kernel
+
+    spec = generate_suite(3, seed=21)[2]
+    ta = trace_kernel(build_workload(spec), instructions=900)
+    tb = trace_kernel(build_workload(spec), instructions=900)
+    assert [(d.pc, d.addr, d.result, d.taken) for d in ta] == \
+        [(d.pc, d.addr, d.result, d.taken) for d in tb]

@@ -1,0 +1,104 @@
+"""The PR's acceptance path, pinned as a test: a seeded 8-workload
+generated suite runs through ``run_suite``, a sweep, and a figure grid;
+a second pass over all three campaigns is served entirely from the
+persistent store (zero recomputed simulations); and the characterisation
+pipeline reports a Table-2-style row for every generated kernel.
+"""
+
+import pytest
+
+from repro.exec import RESULT_CACHE, ResultStore
+from repro.harness.experiment import ExperimentConfig, run_suite
+from repro.harness.figures import figure5, format_figure5
+from repro.harness.sweep import poison_bits_sweep
+from repro.wgen import (
+    characterize_suite,
+    format_characterizations,
+    generate_suite,
+)
+from repro.wgen import registry
+
+CFG = ExperimentConfig(instructions=400)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    registry.clear()
+    yield
+    registry.clear()
+
+
+def campaigns(suite, store):
+    """run_suite + one sweep + one figure grid over the suite."""
+    table = run_suite(("in-order", "icfp"), suite, CFG, jobs=1, store=store)
+    sweep = poison_bits_sweep(widths=(1, 8), workloads=suite, config=CFG,
+                              store=store)
+    figure = figure5(CFG, workloads=suite, store=store)
+    return table, sweep, figure
+
+
+def test_generated_suite_end_to_end_with_incremental_second_pass(tmp_path):
+    suite = generate_suite(8, seed=42)
+    store = ResultStore(str(tmp_path / "store"))
+
+    RESULT_CACHE.clear()
+    table, sweep, figure = campaigns(suite, store)
+    assert store.writes > 0
+    first_writes = store.writes
+
+    names = [spec.name for spec in suite]
+    assert sorted(table) == sorted(names)
+    assert all(set(runs) == {"in-order", "icfp"} for runs in table.values())
+    assert figure.workloads == names
+    assert set(sweep.ratios[1]) == set(names)
+
+    # Second pass, fresh memo + fresh store instance: everything must
+    # come off disk — zero recomputed sims means zero new records.
+    RESULT_CACHE.clear()
+    reader = ResultStore(str(tmp_path / "store"))
+    table2, sweep2, figure2 = campaigns(suite, reader)
+    assert reader.writes == 0, "second pass recomputed simulations"
+    assert reader.misses == 0
+    assert reader.hits == first_writes
+    assert {w: {m: r.cycles for m, r in runs.items()}
+            for w, runs in table2.items()} == \
+        {w: {m: r.cycles for m, r in runs.items()}
+         for w, runs in table.items()}
+    assert sweep2.ratios == sweep.ratios
+    assert figure2.percent == figure.percent
+
+    # The figure formats with generated names and no empty SPEC groups.
+    text = format_figure5(figure)
+    assert "gen42_00" in text and "nan" not in text
+
+
+def test_characterization_reports_every_generated_kernel():
+    suite = generate_suite(8, seed=42)
+    rows = characterize_suite(suite, instructions=400)
+    assert [row.name for row in rows] == [spec.name for spec in suite]
+    for row, spec in zip(rows, suite):
+        assert row.instructions == 400
+        assert row.mix == spec.archetype_mix
+        assert row.loads_per_ki > 0
+        assert row.footprint_lines > 0
+    text = format_characterizations(rows)
+    for spec in suite:
+        assert spec.name in text
+    assert "D$/KI" in text and "L2/KI" in text
+
+
+def test_cli_wgen_generate_then_campaign_from_spec_file(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    spec_file = tmp_path / "suite.json"
+    assert main(["wgen", "generate", "-N", "3", "--seed", "5",
+                 "-o", str(spec_file)]) == 0
+    capsys.readouterr()
+    assert main(["figure5", "-w", f"@{spec_file}", "-n", "400",
+                 "-j", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "gen5_00" in out and "gen5_02" in out
+    assert main(["wgen", "characterize", "-w", f"@{spec_file}",
+                 "-n", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "gen5_01" in out and "brMP/KI" in out

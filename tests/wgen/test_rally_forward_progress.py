@@ -1,0 +1,70 @@
+"""Rally forward progress under set-thrashing generated workloads.
+
+The first procedurally generated suites exposed an iCFP livelock: a
+rallied load whose line is evicted between passes (every load of a
+4 KB-strided kernel maps to two D$ sets) re-qualified for advance on
+*every* visit under ``advance_on="all"``, re-poisoned itself forever,
+and the slice never drained — `repro figure6 -w gen:2:13` hung.  The
+fix bounds chained re-advance (``_MAX_RALLY_REDEFERS``): after a few
+re-deferrals the rally blocks on the fill and merges.  The wide probe
+(24 kernels x 5 models + advance-all / L2-50 / blocking-rally corners)
+is byte-identical with the bound in place — it never fires on the
+named suite.
+"""
+
+import dataclasses
+
+from repro.core.icfp import ICFPFeatures
+from repro.exec.cache import TRACE_CACHE
+from repro.functional import run_program
+from repro.harness.experiment import ExperimentConfig, make_core
+from repro.isa.assembler import Assembler
+from repro.isa.registers import R
+from repro.wgen import generate_suite
+
+
+def thrashing_fmadd_kernel():
+    """Minimal reproducer: 4 KB-strided loads (two D$ sets) feeding a
+    3-source accumulation chain — every load's line is gone again by
+    the time the rally revisits it."""
+    a = Assembler("thrash")
+    stride = 4096
+    for i in range(0, 256 * stride, stride):
+        a.word(0x100000 + i, i % 97 + 1)
+    a.li(R.r9, 0x100000)
+    a.li(R.r2, 1 << 30)
+    a.label("loop")
+    a.ldf(R.f2, R.r9, 0)
+    a.fmadd(R.f3, R.f2, R.f2, R.f3)
+    a.addi(R.r9, R.r9, stride)
+    a.addi(R.r2, R.r2, -1)
+    a.bne(R.r2, R.r0, "loop")
+    a.halt()
+    return a.assemble()
+
+
+def icfp_all_config(instructions, l2_hit_latency=50):
+    return dataclasses.replace(
+        ExperimentConfig(instructions=instructions),
+        l2_hit_latency=l2_hit_latency,
+        icfp_features=ICFPFeatures(advance_on="all"),
+    )
+
+
+def test_thrashing_slice_loads_still_commit():
+    trace = run_program(thrashing_fmadd_kernel(), max_instructions=600)
+    cfg = dataclasses.replace(icfp_all_config(600), warm=False)
+    result = make_core("icfp", trace, cfg).run()
+    assert result.stats.instructions == 600
+    assert result.cycles < 100_000  # pre-fix: livelocked past any bound
+
+
+def test_generated_blocked_matrix_completes_at_high_latency():
+    # The cell that originally hung figure6: gen13_00 (blocked_matrix)
+    # on iCFP-all at a 50-cycle L2.
+    spec = generate_suite(1, 13)[0]
+    assert spec.archetype_mix == "blocked_matrix"
+    trace = TRACE_CACHE.get(spec, 500)
+    result = make_core("icfp", trace, icfp_all_config(500)).run()
+    assert result.stats.instructions == 500
+    assert result.cycles < 100_000

@@ -1,0 +1,80 @@
+"""Generated workloads through the persistent store (3-tier path).
+
+Extends the ``tests/exec/test_store.py`` pattern to generated suites:
+results round-trip through ``.repro-cache/`` records exactly, and a
+re-run in a *fresh process* (not just a cleared memo) is all-hits.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.exec import RESULT_CACHE, ResultStore, SimJob, run_jobs
+from repro.exec.store import result_to_payload
+from repro.harness.experiment import ExperimentConfig
+from repro.wgen import generate_suite
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+CFG = ExperimentConfig(instructions=500)
+MODELS = ("in-order", "icfp")
+
+
+def generated_jobs():
+    return [SimJob(model, spec, CFG)
+            for spec in generate_suite(2, seed=17) for model in MODELS]
+
+
+def test_generated_results_round_trip_and_rerun_is_all_hits(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    jobs = generated_jobs()
+    RESULT_CACHE.clear()
+    first = run_jobs(jobs, workers=1, store=store)
+    assert store.writes == len(jobs) and store.hits == 0
+
+    # Fresh-process stand-in: cleared RAM memo, new store instance.
+    RESULT_CACHE.clear()
+    reader = ResultStore(str(tmp_path / "store"))
+    second = run_jobs(generated_jobs(), workers=1, store=reader)
+    assert reader.hits == len(jobs)
+    assert reader.writes == 0 and reader.misses == 0
+    for a, b in zip(first, second):
+        assert result_to_payload(a) == result_to_payload(b)
+        assert a.workload.startswith("gen17_")
+
+
+#: Fresh-process half: replay the same generated grid against the store
+#: the parent populated; print hits/misses/writes.
+_RERUN = """
+import sys
+sys.path.insert(0, "src")
+from repro.exec import RESULT_CACHE, ResultStore, SimJob, run_jobs
+from repro.harness.experiment import ExperimentConfig
+from repro.wgen import generate_suite
+
+store = ResultStore(sys.argv[1])
+jobs = [SimJob(model, spec, ExperimentConfig(instructions=500))
+        for spec in generate_suite(2, seed=17)
+        for model in ("in-order", "icfp")]
+results = run_jobs(jobs, workers=1, store=store)
+print(store.hits, store.misses, store.writes, len(results))
+"""
+
+
+def test_rerun_in_actual_fresh_process_is_all_hits(tmp_path):
+    store_dir = str(tmp_path / "store")
+    RESULT_CACHE.clear()
+    jobs = generated_jobs()
+    run_jobs(jobs, workers=1, store=ResultStore(store_dir))
+
+    out = subprocess.run([sys.executable, "-c", _RERUN, store_dir],
+                         capture_output=True, text=True, timeout=180,
+                         cwd=REPO_ROOT,
+                         env=dict(os.environ, PYTHONHASHSEED="7"))
+    assert out.returncode == 0, out.stderr
+    hits, misses, writes, count = map(int, out.stdout.split())
+    assert count == len(jobs)
+    assert (hits, misses, writes) == (len(jobs), 0, 0), (
+        "a fresh process recomputed generated-workload cells the store "
+        "already held"
+    )
