@@ -11,7 +11,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Fast-profile knobs (override on the command line as needed).
 SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
-SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads tests/wgen
+SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads tests/wgen tests/stats
+# Smoke deselects @pytest.mark.slow (wide fixed-budget grids that ignore
+# the REPRO_* fast profile); the full suite always runs them.
+SMOKE_MARKERS ?= not slow
 
 .PHONY: test smoke smoke-campaign bench bench-warm bench-throughput
 
@@ -30,17 +33,18 @@ test: smoke
 smoke:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	REPRO_WORKLOADS=$(SMOKE_WORKLOADS) \
-	$(PYTHON) -m pytest -x -q $(SMOKE_TESTS)
+	$(PYTHON) -m pytest -x -q -m "$(SMOKE_MARKERS)" $(SMOKE_TESTS)
 
 ## The same profile through the CLI: one real campaign, printed.
 smoke-campaign:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
 
-## Campaign throughput (jobs=1 vs jobs=N, disk-store cold/warm, and a
-## seeded generated suite) as machine-readable JSON, plus the compact
-## trend record (schema v3: commit, jobs, grid, sims/sec, store
-## cold/warm + hit counts, generated-suite build/sim rates, env).
+## Campaign throughput (jobs=1 vs jobs=N, disk-store cold/warm, a
+## seeded generated suite, and the phase-attribution on/off delta) as
+## machine-readable JSON, plus the compact trend record (schema v4:
+## commit, jobs, grid, sims/sec, store cold/warm + hit counts,
+## generated-suite build/sim rates, attribution overhead, env).
 ## BENCH_throughput.json at the repo root is the checked-in baseline;
 ## compare a fresh run against it to see the bench trajectory.
 bench:

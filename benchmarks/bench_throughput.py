@@ -1,6 +1,6 @@
 """Campaign throughput: the Figure 5 grid, engine speed vs cache power.
 
-Three measurements, separated so the trend record can tell them apart:
+Four measurements, separated so the trend record can tell them apart:
 
 * **engine speed** — jobs=1 vs jobs=N over the grid with every memo
   tier off (``memo=False``): pure simulation throughput.
@@ -15,6 +15,10 @@ Three measurements, separated so the trend record can tell them apart:
   (build wall) and simulation rate over generated workloads, so a
   composer or generator regression shows up as its own number instead
   of hiding inside campaign noise.
+* **phase-attribution overhead** — the suite's multi-phase specs with
+  per-phase attribution on (their real phase regions) vs off (regions
+  stripped from the identical traces), so the live bucketing's hot-path
+  cost stays visible in the perf trajectory.
 
 Usable three ways:
 
@@ -23,8 +27,9 @@ Usable three ways:
   ``--store-dir`` persists the store between invocations (second runs
   are store-hot); ``--store-only`` skips the jobs=1-vs-N comparison.
 * ``--output BENCH_throughput.json`` additionally writes the compact
-  trend record (schema v2: commit, jobs, grid, sims/sec, store cold/warm
-  wall + hit counts, env) — ``make bench`` uses this, and the checked-in
+  trend record (schema v4: commit, jobs, grid, sims/sec, store cold/warm
+  wall + hit counts, generated-suite rates, phase-attribution delta,
+  env) — ``make bench`` uses this, and the checked-in
   ``BENCH_throughput.json`` at the repo root is the baseline.
 * under pytest it asserts the parallel run and the store-warm pass both
   reproduce the sequential results exactly, on a reduced grid.
@@ -145,6 +150,58 @@ GENERATED_COUNT = 6
 GENERATED_SEED = 2009
 
 
+def run_phase_attribution_phase(config: ExperimentConfig,
+                                count: int = GENERATED_COUNT,
+                                seed: int = GENERATED_SEED) -> dict:
+    """Attribution-on vs -off sims/sec over multi-phase workloads.
+
+    Phase attribution runs live (per-commit bucketing) only for
+    multi-phase composed programs, so this phase times exactly those:
+    the seeded suite's multi-phase specs, all five models, once with
+    their real phase regions and once over the identical dynamic trace
+    with the regions stripped.  Passes are primed (warm snapshots,
+    bytecode) and take the min of three timed reps each, interleaved
+    on/off so machine drift hits both sides alike.  The recorded
+    overhead percentage is the trend line that keeps attribution's
+    hot-path cost visible across PRs.
+    """
+    from repro.exec import TRACE_CACHE
+    from repro.harness.experiment import make_core
+    from repro.wgen import generate_suite
+
+    specs = [s for s in generate_suite(count, seed) if len(s.phases) > 1]
+    traces_on = [TRACE_CACHE.get(s, config.instructions) for s in specs]
+    traces_off = [t.with_phase_regions(()) for t in traces_on]
+
+    def timed_pass(traces) -> float:
+        start = time.perf_counter()
+        for trace in traces:
+            for model in MODELS:
+                make_core(model, trace, config).run()
+        return time.perf_counter() - start
+
+    timed_pass(traces_on)   # prime both sides before the clock matters
+    timed_pass(traces_off)
+    reps = 3
+    walls_on, walls_off = [], []
+    for _ in range(reps):
+        walls_on.append(timed_pass(traces_on))
+        walls_off.append(timed_pass(traces_off))
+    on_wall, off_wall = min(walls_on), min(walls_off)
+    sims = len(specs) * len(MODELS)
+    return {
+        "workloads": [spec.name for spec in specs],
+        "phases_per_workload": [len(spec.phases) for spec in specs],
+        "simulations": sims,
+        "reps": reps,
+        "on_wall_s": round(on_wall, 4),
+        "off_wall_s": round(off_wall, 4),
+        "on_sims_per_sec": round(sims / on_wall, 2),
+        "off_sims_per_sec": round(sims / off_wall, 2),
+        "overhead_pct": round((on_wall - off_wall) / off_wall * 100.0, 2),
+    }
+
+
 def run_generated_phase(config: ExperimentConfig,
                         count: int = GENERATED_COUNT,
                         seed: int = GENERATED_SEED) -> dict:
@@ -225,6 +282,7 @@ def campaign_throughput(parallel_jobs: int | None = None,
             for side in (sequential, parallel):
                 del side["cycles"]  # bulky; the verdict is what matters
             report["generated"] = run_generated_phase(config)
+            report["phase_attribution"] = run_phase_attribution_phase(config)
         report["store"] = run_store_phase(config, workloads, store_dir)
     finally:
         if prior_store_env is None:
@@ -253,6 +311,10 @@ def test_campaign_throughput(once):
     assert generated["simulations"] == generated["count"] * len(MODELS)
     assert generated["sims_per_sec"] > 0
     assert generated["simulated_instructions"] > 0
+    attribution = report["phase_attribution"]
+    assert attribution["simulations"] > 0, "no multi-phase specs sampled"
+    assert attribution["on_sims_per_sec"] > 0
+    assert attribution["off_sims_per_sec"] > 0
 
 
 def git_commit() -> str:
@@ -270,20 +332,23 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema v3: commit, jobs, grid, sims/sec (engine speed), the store's
+    Schema v4: commit, jobs, grid, sims/sec (engine speed), the store's
     cold-vs-warm wall clocks with hit/miss/write counters (cache
     effectiveness), the generated-suite build/sim rates (wgen
-    trajectory), and the environment (``REPRO_JOBS``, cpu count) —
-    enough for a dashboard to plot all three trajectories across PRs,
-    and to tell an engine regression from a cache regression from a
-    generator regression, without re-parsing the full report.
+    trajectory), the phase-attribution on-vs-off delta (attribution
+    overhead trajectory), and the environment (``REPRO_JOBS``, cpu
+    count) — enough for a dashboard to plot every trajectory across
+    PRs, and to tell an engine regression from a cache regression from
+    a generator or attribution regression, without re-parsing the full
+    report.
     """
     sequential = report["sequential"]
     parallel = report["parallel"]
     store = report["store"]
     generated = report["generated"]
+    attribution = report["phase_attribution"]
     return {
-        "schema": "bench_throughput/v3",
+        "schema": "bench_throughput/v4",
         "commit": git_commit(),
         "jobs": {"sequential": 1, "parallel": parallel["jobs"]},
         "grid": {
@@ -329,6 +394,14 @@ def bench_record(report: dict) -> dict:
             "wall_clock_s": generated["wall_clock_s"],
             "sims_per_sec": generated["sims_per_sec"],
             "instructions_per_s": generated["instructions_per_s"],
+        },
+        "phase_attribution": {
+            "simulations": attribution["simulations"],
+            "on_wall_s": attribution["on_wall_s"],
+            "off_wall_s": attribution["off_wall_s"],
+            "on_sims_per_sec": attribution["on_sims_per_sec"],
+            "off_sims_per_sec": attribution["off_sims_per_sec"],
+            "overhead_pct": attribution["overhead_pct"],
         },
         "results_identical": report["results_identical"],
     }

@@ -149,6 +149,8 @@ class MultipassCore(RunaheadCore):
                 self._shadow_poison.discard(dst)
                 self.reg_ready[dst] = completion
             self.stats.advance_instructions += 1
+            if self._phase_of is not None:
+                self._phase_advance(idx)
             if dyn.is_control:
                 self.predictor.update(dyn)
                 if not entry.predicted_ok:
@@ -183,6 +185,8 @@ class MultipassCore(RunaheadCore):
                 self._shadow_poison.discard(dst)
                 self.reg_ready[dst] = completion
         self.stats.advance_instructions += 1
+        if self._phase_of is not None:
+            self._phase_advance(dyn.index)
         if not poisoned and not dyn.is_store:
             results = self._results
             if (dyn.index not in results

@@ -246,7 +246,7 @@ class RunaheadCore(CoreModel):
                 if result.stalled:
                     self.stats.stalls.mshr_full += 1
                     return STALLED
-                self.record_miss(result)
+                self.record_miss(result, dyn.index)
                 if self._qualifies_entry(result):
                     # Checkpoint at the load and run ahead; the load is
                     # the first runahead instruction (discarded later).
@@ -361,7 +361,7 @@ class RunaheadCore(CoreModel):
         if result.stalled:
             self.stats.stalls.mshr_full += 1
             return STALLED, 0, False
-        self.record_miss(result)
+        self.record_miss(result, dyn.index)
         if self._is_l2_class(result):
             return ISSUED, self.cycle + 1, True  # poison, keep flowing
         if result.l1_miss and self.advance_on == "all":
@@ -388,3 +388,5 @@ class RunaheadCore(CoreModel):
                 self._shadow_poison.discard(dst)
                 self.reg_ready[dst] = completion
         self.stats.advance_instructions += 1
+        if self._phase_of is not None:
+            self._phase_advance(dyn.index)

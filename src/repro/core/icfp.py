@@ -81,6 +81,11 @@ class _Checkpoint:
     ssn: int
     cycle: int
     committed: tuple[int, int, int, int]  # instructions, loads, stores, branches
+    #: Per-phase snapshot of the same four commit counters (None when
+    #: phase attribution is off) — a squash un-counts the squashed
+    #: region's commits from the buckets exactly as it does from the
+    #: aggregates, preserving the conservation law.
+    committed_phases: tuple | None = None
 
 
 class ICFPCore(CoreModel):
@@ -389,7 +394,7 @@ class ICFPCore(CoreModel):
         if result.stalled:
             self.stats.stalls.mshr_full += 1
             return STALLED
-        self.record_miss(result)
+        self.record_miss(result, dyn.index)
         if self._qualifies_for_advance(result):
             # The defining transition: checkpoint and keep flowing.
             self._enter_advance()
@@ -498,7 +503,7 @@ class ICFPCore(CoreModel):
         if result.stalled:
             self.stats.stalls.mshr_full += 1
             return STALLED
-        self.record_miss(result)
+        self.record_miss(result, dyn.index)
         if self._qualifies_for_advance(result):
             self.ports.mem_free -= 1
             return self._advance_missing_load(dyn, entry, result)
@@ -569,6 +574,8 @@ class ICFPCore(CoreModel):
             self._stale_check_needed = True
         self.stats.slice_captures += 1
         self.stats.advance_instructions += 1
+        if self._phase_of is not None:
+            self._phase_advance(dyn.index)
         if dyn.dst is not None:
             self.main_rf.write_advance(dyn.dst, None, seq, poison)
             self.reg_ready[dyn.dst] = self.cycle  # consumers slice, not stall
@@ -581,6 +588,8 @@ class ICFPCore(CoreModel):
         seq = self._take_seq()
         self.commit(dyn, entry, completion)
         self.stats.advance_instructions += 1
+        if self._phase_of is not None:
+            self._phase_advance(dyn.index)
         if dyn.dst is not None:
             self.main_rf.write_advance(dyn.dst, dyn.result, seq, 0)
 
@@ -653,6 +662,8 @@ class ICFPCore(CoreModel):
         if pending:
             slice_entry.poison = pending
             self.stats.rally_instructions += 1
+            if self._phase_of is not None:
+                self._phase_rally(dyn.index)
             self._pass_cursor += 1
             return True
         if value_ready > self.cycle:
@@ -684,12 +695,16 @@ class ICFPCore(CoreModel):
         if isinstance(fwd, IndexedStall):
             # Treat like a pending input: revisit next pass.
             self.stats.rally_instructions += 1
+            if self._phase_of is not None:
+                self._phase_rally(dyn.index)
             self._pass_cursor += 1
             return True
         if isinstance(fwd, ForwardResult):
             if fwd.poison:
                 slice_entry.poison = fwd.poison
                 self.stats.rally_instructions += 1
+                if self._phase_of is not None:
+                    self._phase_rally(dyn.index)
                 self._pass_cursor += 1
                 return True
             self.stats.store_forward_hits += 1
@@ -703,7 +718,7 @@ class ICFPCore(CoreModel):
         if result.stalled:
             self._rally_wait_until = self.cycle + 1
             return False
-        self.record_miss(result)
+        self.record_miss(result, dyn.index)
         if self._qualifies_for_advance(result):
             # Dependent miss discovered during the rally.  Re-deferral
             # must be *bounded*: a load whose line keeps getting evicted
@@ -719,6 +734,8 @@ class ICFPCore(CoreModel):
                 mask = self.poison_alloc.bit_for(result.mshr)
                 slice_entry.poison = mask
                 self.stats.rally_instructions += 1
+                if self._phase_of is not None:
+                    self._phase_rally(dyn.index)
                 self._pass_cursor += 1
                 return True
             self._rally_block = (slice_entry, result.ready_cycle)
@@ -748,6 +765,9 @@ class ICFPCore(CoreModel):
             self.stats.stores += 1
         if dyn.is_branch:
             self.stats.branches += 1
+        if self._phase_of is not None:
+            self._phase_rally(dyn.index)
+            self._phase_commit(dyn)
         if completion > self.last_completion:
             self.last_completion = completion
 
@@ -790,6 +810,10 @@ class ICFPCore(CoreModel):
             cycle=self.cycle,
             committed=(self.stats.instructions, self.stats.loads,
                        self.stats.stores, self.stats.branches),
+            committed_phases=None if self._phase_stats is None else tuple(
+                (p.instructions, p.loads, p.stores, p.branches)
+                for p in self._phase_stats
+            ),
         )
         # The triggering load is at the head of the fetch queue.
         if self.fetch_queue:
@@ -889,6 +913,10 @@ class ICFPCore(CoreModel):
         self.stats.loads = base[1]
         self.stats.stores = base[2]
         self.stats.branches = base[3]
+        if ckpt.committed_phases is not None:
+            for phase, saved in zip(self._phase_stats, ckpt.committed_phases):
+                (phase.instructions, phase.loads,
+                 phase.stores, phase.branches) = saved
         self.stats.squashes += 1
         self.reg_ready = [self.cycle] * NUM_REGS
 
@@ -956,7 +984,7 @@ class ICFPCore(CoreModel):
                     result = self.hierarchy.data_access(dyn.addr, cycle)
                     if result.stalled:
                         return STALLED
-                    self.record_miss(result)
+                    self.record_miss(result, idx)
                     if self._qualifies_for_advance(result):
                         poisoned = True  # prefetch issued; poison the dest
                     else:
@@ -983,6 +1011,8 @@ class ICFPCore(CoreModel):
             # shadow path cannot recover it, so fetch idles until the
             # fallback resolves and execution rewinds.
         self.stats.advance_instructions += 1
+        if self._phase_of is not None:
+            self._phase_advance(idx)
         return ISSUED
 
     # ------------------------------------------------------------------

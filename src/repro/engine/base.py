@@ -52,7 +52,7 @@ from ..isa.registers import NUM_REGS, ZERO_REG
 from ..memory.hierarchy import MemoryHierarchy, MemResult
 from ..pipeline.config import MachineConfig
 from ..pipeline.resources import PortSet
-from ..pipeline.stats import CoreStats
+from ..pipeline.stats import CoreStats, PhaseStats
 from ..pipeline.store_queue import StoreQueue
 from .result import SimResult
 
@@ -134,6 +134,24 @@ class CoreModel:
         self._iline = hot.iline(self._l1i_line_bytes)
         self._l1d_hit_latency = cfg.hierarchy.l1d.hit_latency
         self._max_cycles = cfg.max_cycles
+
+        # Phase attribution (observation only).  Multi-region programs
+        # get live per-commit bucketing — one flat-array lookup guarded
+        # by a single `is not None` check on the commit path.  Single-
+        # region programs (the whole named suite) keep `_phase_of is
+        # None`, so the hot paths pay nothing and the one bucket is
+        # synthesised from the aggregates at run end.
+        regions = trace.program.phase_regions
+        self._phase_regions = regions
+        if len(regions) > 1:
+            self._phase_of = trace.phase_index()
+            self._phase_stats = [PhaseStats(name=name)
+                                 for name, _lo, _hi in regions]
+            self._phase_cur = 0  # execution starts in the first region
+            self._phase_mark = 0
+        else:
+            self._phase_of = None
+            self._phase_stats = None
 
         if cfg.warm_icache or cfg.warm_dcache:
             # Snapshot reuse is only sound when the hierarchy started
@@ -267,7 +285,8 @@ class CoreModel:
             step_cycle()
         self.stats.cycles = max(self.cycle, self.last_completion)
         self.stats.branch_mispredicts = self.predictor.mispredictions
-        return SimResult(self.name, self.trace.program.name, self.stats)
+        return SimResult(self.name, self.trace.program.name, self.stats,
+                         phase_stats=self._finalize_phase_stats())
 
     def step_cycle(self) -> None:
         """Advance the simulation by one cycle (tests drive this directly
@@ -467,7 +486,7 @@ class CoreModel:
         if result.stalled:
             self.stats.stalls.mshr_full += 1
             return None
-        self.record_miss(result)
+        self.record_miss(result, dyn.index)
         return result.ready_cycle
 
     def execute_store(self, dyn: DynInst) -> int | None:
@@ -490,6 +509,8 @@ class CoreModel:
             stats.stores += 1
         if dyn.is_branch:
             stats.branches += 1
+        if self._phase_of is not None:
+            self._phase_commit(dyn)
         if dyn.is_control:
             self.resolve_control(dyn, entry, completion)
         if completion > self.last_completion:
@@ -504,8 +525,14 @@ class CoreModel:
             self.fetch_resume_cycle = completion
             self._last_fetch_line = -1
 
-    def record_miss(self, result: MemResult) -> None:
-        """Fold one hierarchy access into miss/MLP statistics."""
+    def record_miss(self, result: MemResult, index: int = -1) -> None:
+        """Fold one hierarchy access into miss/MLP statistics.
+
+        ``index`` is the dynamic index of the accessing instruction;
+        with phase attribution active it routes the miss counters into
+        that instruction's phase bucket as well (callers that lack an
+        instruction context omit it and charge the aggregates only).
+        """
         stats = self.stats
         if result.level == "mshr":
             stats.secondary_misses += 1
@@ -517,6 +544,62 @@ class CoreModel:
             stats.d_mlp.add(self.cycle, result.ready_cycle)
             if result.l2_miss:
                 stats.l2_mlp.add(self.cycle, result.ready_cycle)
+        if self._phase_of is not None and index >= 0:
+            phase = self._phase_stats[self._phase_of[index]]
+            if result.level == "mshr":
+                phase.secondary_misses += 1
+            elif result.l1_miss:
+                phase.l1d_misses += 1
+            if result.l2_miss:
+                phase.l2_misses += 1
+
+    # ==================================================================
+    # phase attribution (observation only — never a timing input)
+    # ==================================================================
+    def _phase_commit(self, dyn: DynInst) -> None:
+        """Charge one committed instruction to its phase bucket.
+
+        Called only when attribution is live (``_phase_of`` non-None).
+        A commit whose phase differs from the current one also settles
+        the elapsed cycle span against the outgoing phase, so the
+        buckets' cycle counters partition ``[0, stats.cycles)`` exactly.
+        """
+        index = self._phase_of[dyn.index]
+        if index != self._phase_cur:
+            cycle = self.cycle
+            self._phase_stats[self._phase_cur].cycles += cycle - self._phase_mark
+            self._phase_mark = cycle
+            self._phase_cur = index
+        phase = self._phase_stats[index]
+        phase.instructions += 1
+        if dyn.is_load:
+            phase.loads += 1
+        elif dyn.is_store:
+            phase.stores += 1
+        if dyn.is_branch:
+            phase.branches += 1
+
+    def _phase_advance(self, index: int) -> None:
+        """Mirror one ``advance_instructions`` increment (guarded call)."""
+        self._phase_stats[self._phase_of[index]].advance_instructions += 1
+
+    def _phase_rally(self, index: int) -> None:
+        """Mirror one ``rally_instructions`` increment (guarded call)."""
+        self._phase_stats[self._phase_of[index]].rally_instructions += 1
+
+    def _finalize_phase_stats(self) -> list[PhaseStats] | None:
+        """The run's phase buckets, with the tail cycle span settled."""
+        regions = self._phase_regions
+        if not regions:
+            return None
+        if self._phase_stats is None:
+            # Single region: the one bucket is the aggregate, by
+            # definition — synthesised here so the hot paths never pay.
+            return [PhaseStats.from_aggregate(regions[0][0], self.stats)]
+        total = self.stats.cycles
+        self._phase_stats[self._phase_cur].cycles += total - self._phase_mark
+        self._phase_mark = total
+        return self._phase_stats
 
     # ==================================================================
     # event-horizon leap

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..pipeline.stats import CoreStats
+from ..pipeline.stats import CoreStats, PhaseStats
 
 
 @dataclass
@@ -15,11 +15,17 @@ class SimResult:
     "multipass", "sltp", "icfp"), ``workload`` the kernel.  Speedups are
     cycle ratios — all models of a workload execute the same dynamic
     instruction stream, so cycles are directly comparable.
+
+    ``phase_stats`` is the per-phase attribution of the run, one bucket
+    per declared :attr:`~repro.isa.program.Program.phase_regions` entry
+    (``None`` for programs that declare none).  Every bucket counter
+    sums exactly to the matching :class:`CoreStats` aggregate.
     """
 
     model: str
     workload: str
     stats: CoreStats
+    phase_stats: list[PhaseStats] | None = field(default=None)
 
     @property
     def cycles(self) -> int:

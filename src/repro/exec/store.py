@@ -63,11 +63,12 @@ import time
 from dataclasses import fields as dataclass_fields
 
 from ..engine.result import SimResult
-from ..pipeline.stats import CoreStats, MLPMeter, StallBreakdown
+from ..pipeline.stats import CoreStats, MLPMeter, PhaseStats, StallBreakdown
 from .fingerprint import fingerprint
 
 #: Record-layout version: bump when the serialised form changes.
-STORE_SCHEMA = 1
+#: v2: results carry per-phase attribution buckets (``phases``).
+STORE_SCHEMA = 2
 
 #: Timing-semantics tag ("eh2" = the PR 2 event-horizon engine).  Bump
 #: in the same commit that regenerates tests/engine/golden_stats.json.
@@ -100,6 +101,8 @@ _COMPOUND_STATS = ("stalls", "d_mlp", "l2_mlp")
 _STAT_SCALARS = tuple(f.name for f in dataclass_fields(CoreStats)
                       if f.name not in _COMPOUND_STATS)
 _STALL_FIELDS = tuple(f.name for f in dataclass_fields(StallBreakdown))
+_PHASE_SCALARS = tuple(f.name for f in dataclass_fields(PhaseStats)
+                       if f.name != "name")
 
 
 def result_to_payload(result: SimResult) -> dict:
@@ -115,8 +118,14 @@ def result_to_payload(result: SimResult) -> dict:
                          for name in _STALL_FIELDS}
     payload["d_mlp"] = [list(iv) for iv in stats.d_mlp._intervals]
     payload["l2_mlp"] = [list(iv) for iv in stats.l2_mlp._intervals]
+    phases = result.phase_stats
     return {"model": result.model, "workload": result.workload,
-            "stats": payload}
+            "stats": payload,
+            "phases": None if phases is None else [
+                {"name": p.name,
+                 **{f: getattr(p, f) for f in _PHASE_SCALARS}}
+                for p in phases
+            ]}
 
 
 def payload_to_result(payload: dict) -> SimResult:
@@ -134,8 +143,15 @@ def payload_to_result(payload: dict) -> SimResult:
         meter._intervals = [(int(start), int(end))
                             for start, end in raw[meter_name]]
         setattr(stats, meter_name, meter)
+    raw_phases = payload["phases"]  # required key: absence = corrupt record
+    phases = None if raw_phases is None else [
+        PhaseStats(name=str(entry["name"]),
+                   **{f: int(entry[f]) for f in _PHASE_SCALARS})
+        for entry in raw_phases
+    ]
     return SimResult(model=str(payload["model"]),
-                     workload=str(payload["workload"]), stats=stats)
+                     workload=str(payload["workload"]), stats=stats,
+                     phase_stats=phases)
 
 
 # ----------------------------------------------------------------------

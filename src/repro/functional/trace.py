@@ -215,6 +215,7 @@ class Trace:
         # exists, and the engine's trace cache shares the arrays across
         # every simulation of this trace.
         self._hot = TraceHot(insts)
+        self._phase_index: list[int] | None = None
         self._num_loads: int | None = None
         self._num_stores: int | None = None
         self._num_branches: int | None = None
@@ -238,6 +239,42 @@ class Trace:
         cell) that replays this trace.
         """
         return self._hot
+
+    def with_phase_regions(self, regions) -> "Trace":
+        """The same dynamic stream under a different phase-region map.
+
+        For differential probes and benches that compare attribution
+        on/off/forced over one trace: the records (and therefore every
+        timing decision) are shared; only the observation map differs.
+        """
+        import dataclasses
+
+        program = dataclasses.replace(self.program,
+                                      phase_regions=tuple(regions))
+        return Trace(program, self.insts, self.final_state, self.completed)
+
+    def phase_index(self) -> list[int]:
+        """Per-dynamic-instruction phase index (flat, like the hot arrays).
+
+        Derived once from the program's static ``phase_regions`` map and
+        cached: a dynamic instruction's phase is a table lookup on its
+        static index.  Only multi-phase programs ever ask (the engine
+        synthesises the single bucket from aggregates at run end), so
+        single-phase simulations never pay for the build.
+        """
+        index = self._phase_index
+        if index is None:
+            from ..isa.program import CODE_BASE, INST_BYTES
+
+            regions = self.program.phase_regions
+            static = [0] * len(self.program.instructions)
+            for phase, (_name, lo, hi) in enumerate(regions):
+                for i in range(lo, hi):
+                    static[i] = phase
+            index = self._phase_index = [
+                static[(pc - CODE_BASE) // INST_BYTES] for pc in self._hot.pc
+            ]
+        return index
 
     # ------------------------------------------------------------------
     # characterisation helpers (used by workload tuning tests/benches)

@@ -17,6 +17,7 @@ so results can be regenerated without writing Python:
     python -m repro cache stats             # disk result-store health
     python -m repro wgen generate -N 8 --seed 7 -o suite.json
     python -m repro wgen characterize -w gen:8:7
+    python -m repro phases -w gen:8:7       # per-phase attribution
 
 Campaigns are incremental by default: results persist in the on-disk
 store (``REPRO_CACHE_DIR``, default ``.repro-cache/``), so re-running a
@@ -50,6 +51,7 @@ from .figures import (
     format_figure7,
     format_figure8,
 )
+from .phases import format_phase_table
 from .scenarios import run_all_scenarios
 from .sweep import chain_table_sweep, format_sweep, poison_bits_sweep
 from .tables import format_area_table, format_table2, table2
@@ -263,6 +265,22 @@ def cmd_wgen(args) -> None:
                           f"{spec.archetype_mix}")
 
 
+def cmd_phases(args) -> None:
+    from .experiment import run_suite
+
+    config = _config(args)
+    workloads = _workloads(args)
+    if workloads is None:
+        raise SystemExit(
+            "phases needs -w (multi-phase generated workloads show the "
+            "breakdown, e.g. -w gen:8:7 or -w @suite.json; named kernels "
+            "report one whole-program bucket)"
+        )
+    models = MODELS if args.model == "all" else (args.model,)
+    results = run_suite(models, workloads, config)
+    print(format_phase_table(results))
+
+
 def cmd_sweep(args) -> None:
     workloads = _workloads(args)
     if args.parameter == "chain-table":
@@ -303,6 +321,14 @@ def cmd_run(args) -> None:
                  f"rally {stats.rally_instructions}, "
                  f"squash {stats.squashes}]")
         print(line)
+        phases = result.phase_stats or []
+        if len(phases) > 1:
+            for p in phases:
+                print(f"  {p.name:22s} {p.cycles:>8d} cycles  "
+                      f"{p.instructions:>6d} insts  "
+                      f"[D$ {p.l1d_misses}, L2 {p.l2_misses}, "
+                      f"adv {p.advance_instructions}, "
+                      f"rally {p.rally_instructions}]")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=doc)
         _add_common(p)
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser("phases", help="per-phase attribution breakdown")
+    _add_common(p)
+    p.add_argument("-m", "--model", choices=MODELS + ("all",), default="all",
+                   help="restrict to one machine model (default: all)")
+    p.set_defaults(fn=cmd_phases)
 
     p = sub.add_parser("sweep", help="chain-table / poison-bit sweeps")
     _add_common(p)

@@ -8,11 +8,12 @@ renders the paper-style table the benchmarks print.  Shape assertions
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.icfp import ICFPFeatures
 from ..exec import SimJob, run_jobs
 from ..wgen.spec import workload_name
+from .phases import phase_summary
 from .experiment import (
     MODELS,
     ExperimentConfig,
@@ -36,6 +37,9 @@ class Figure5:
     #: geomeans[model][group] for SPECfp / SPECint / SPEC.
     geomeans: dict[str, dict[str, float]]
     baseline_ipc: dict[str, float]
+    #: phases[workload][model] = per-phase attribution counter dicts
+    #: (one entry per phase; named single-phase kernels have one).
+    phases: dict[str, dict[str, list[dict]]] = field(default_factory=dict)
 
 
 def figure5(config: ExperimentConfig | None = None,
@@ -52,7 +56,8 @@ def figure5(config: ExperimentConfig | None = None,
         geomeans[model] = {g: (v - 1.0) * 100.0
                            for g, v in group_geomeans(ratios).items()}
     baseline_ipc = {w: results[w]["in-order"].ipc for w in names}
-    return Figure5(names, percent, geomeans, baseline_ipc)
+    return Figure5(names, percent, geomeans, baseline_ipc,
+                   phases=phase_summary(results))
 
 
 def format_figure5(fig: Figure5) -> str:

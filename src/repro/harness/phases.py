@@ -1,0 +1,73 @@
+"""Per-phase attribution tables over campaign results.
+
+Composed multi-phase workloads (:mod:`repro.wgen`) report one
+:class:`~repro.pipeline.stats.PhaseStats` bucket per phase; these
+helpers flatten a ``results[workload][model]`` table (the shape
+``run_suite`` returns) into per-phase rows and render the text table
+behind ``repro phases``.  Every bucket counter sums exactly to the
+matching aggregate, so the table decomposes — never re-estimates — the
+whole-program numbers the figures report.
+"""
+
+from __future__ import annotations
+
+from ..engine.result import SimResult
+from ..pipeline.stats import PHASE_COUNTERS
+
+
+def phase_dicts(result: SimResult) -> list[dict]:
+    """One result's phase buckets as JSON-ready counter dicts."""
+    return [
+        {"name": p.name,
+         **{counter: getattr(p, counter) for counter in PHASE_COUNTERS}}
+        for p in (result.phase_stats or ())
+    ]
+
+
+def phase_summary(results: dict[str, dict[str, SimResult]]) -> dict:
+    """``summary[workload][model]`` -> list of per-phase counter dicts.
+
+    JSON-ready (plain dicts of ints), in phase order.  Workloads whose
+    results carry no phase buckets (externally built programs) map to
+    an empty list.
+    """
+    return {
+        workload: {model: phase_dicts(result)
+                   for model, result in runs.items()}
+        for workload, runs in results.items()
+    }
+
+
+def format_phase_table(results: dict[str, dict[str, SimResult]]) -> str:
+    """The ``repro phases`` text table: one row per workload/model/phase.
+
+    Columns are the attribution counters; the ``total`` row under each
+    model restates the aggregates (and, by the conservation law, the
+    column sums).
+    """
+    lines = [
+        "Per-phase attribution (cycles and events bucketed at retirement)",
+        f"{'workload':16s} {'model':10s} {'phase':22s} {'cycles':>9s} "
+        f"{'insts':>7s} {'D$miss':>7s} {'L2miss':>7s} {'adv':>7s} "
+        f"{'rally':>7s} {'IPC':>6s}",
+    ]
+    for workload, runs in results.items():
+        for model, result in runs.items():
+            phases = result.phase_stats or []
+            for p in phases:
+                lines.append(
+                    f"{workload:16s} {model:10s} {p.name:22s} "
+                    f"{p.cycles:9d} {p.instructions:7d} {p.l1d_misses:7d} "
+                    f"{p.l2_misses:7d} {p.advance_instructions:7d} "
+                    f"{p.rally_instructions:7d} {p.ipc:6.3f}"
+                )
+            if len(phases) > 1:
+                stats = result.stats
+                lines.append(
+                    f"{workload:16s} {model:10s} {'total':22s} "
+                    f"{stats.cycles:9d} {stats.instructions:7d} "
+                    f"{stats.l1d_misses:7d} {stats.l2_misses:7d} "
+                    f"{stats.advance_instructions:7d} "
+                    f"{stats.rally_instructions:7d} {stats.ipc:6.3f}"
+                )
+    return "\n".join(lines)

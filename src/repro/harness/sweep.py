@@ -9,12 +9,13 @@
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.icfp import ICFPFeatures
 from ..exec import SimJob, run_jobs
 from ..wgen.spec import workload_name
 from .experiment import ExperimentConfig, geomean, selected_workloads
+from .phases import phase_dicts
 
 
 @dataclass
@@ -25,6 +26,10 @@ class SweepResult:
     values: list
     #: ratios[value][workload] = speedup over in-order.
     ratios: dict[object, dict[str, float]]
+    #: phases[value][workload] = the swept iCFP run's per-phase
+    #: attribution counter dicts (how each sweep point redistributes
+    #: stall cycles across a composed workload's phases).
+    phases: dict[object, dict[str, list[dict]]] = field(default_factory=dict)
 
     def gmeans(self) -> dict[object, float]:
         return {v: geomean(per.values()) for v, per in self.ratios.items()}
@@ -56,10 +61,13 @@ def _sweep(parameter: str, values, feature_of, workloads, config,
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
     results = iter(run_jobs(grid, store=store))
     io_cycles = {w: next(results).cycles for w in names}
-    ratios = {value: {w: io_cycles[w] / next(results).cycles
-                      for w in names}
-              for value in values}
-    return SweepResult(parameter, list(values), ratios)
+    ratios: dict[object, dict[str, float]] = {}
+    phases: dict[object, dict[str, list[dict]]] = {}
+    for value in values:
+        runs = {w: next(results) for w in names}
+        ratios[value] = {w: io_cycles[w] / runs[w].cycles for w in names}
+        phases[value] = {w: phase_dicts(runs[w]) for w in names}
+    return SweepResult(parameter, list(values), ratios, phases=phases)
 
 
 def chain_table_sweep(sizes=(64, 128, 512), workloads=None,

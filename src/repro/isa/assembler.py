@@ -110,6 +110,11 @@ class Assembler:
             # hot_regions carries the full set for warm-up.
             hot_region=self._hot_regions[-1] if self._hot_regions else None,
             hot_regions=tuple(self._hot_regions),
+            # Single whole-program phase region: every assembled program
+            # reports one attribution bucket; the phase composer
+            # replaces this with its per-phase map.
+            phase_regions=((self._name, 0, len(self._instructions)),)
+            if self._instructions else (),
         )
 
     # ------------------------------------------------------------------

@@ -57,6 +57,15 @@ class Program:
     #: ``hot_region``; composed multi-phase programs (``repro.wgen``)
     #: carry one per phase that declared one — warm-up installs all.
     hot_regions: tuple[tuple[int, int], ...] = ()
+    #: Static phase map: ``(name, lo_index, hi_index)`` half-open
+    #: instruction-index ranges in ascending, contiguous order.  The
+    #: assembler declares one whole-program region; the phase composer
+    #: (:mod:`repro.wgen.compose`) declares one per phase.  Timing
+    #: models bucket committed stats by these regions (observation
+    #: only — never timing input), so the field is deliberately outside
+    #: every fingerprint: job digests hash the workload reference and
+    #: warm digests hash instructions/data/hot regions, not this.
+    phase_regions: tuple[tuple[str, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         for addr in self.data:

@@ -74,6 +74,60 @@ class StallBreakdown:
                 + self.slice_buffer_full + self.poisoned_store_addr)
 
 
+#: Every integer counter a :class:`PhaseStats` bucket carries.  Each is
+#: mirrored from the matching :class:`CoreStats` aggregate at the same
+#: increment site, so summing a counter over a run's buckets reproduces
+#: the aggregate *exactly* — the conservation law
+#: ``tests/stats/test_phase_conservation.py`` pins.
+PHASE_COUNTERS = (
+    "cycles", "instructions", "loads", "stores", "branches",
+    "l1d_misses", "l2_misses", "secondary_misses",
+    "advance_instructions", "rally_instructions",
+)
+
+
+@dataclass
+class PhaseStats:
+    """Attribution bucket for one phase of a composed workload.
+
+    Cycles are charged as spans between phase transitions observed at
+    retirement: when a committing instruction's phase differs from the
+    current one, the elapsed span goes to the outgoing phase (the run's
+    tail span is settled at completion).  Event counters (commits,
+    misses, advance/rally work) are charged to the phase of the
+    instruction that caused them.  Attribution is observation-only:
+    it never feeds timing decisions.
+    """
+
+    name: str
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    secondary_misses: int = 0
+    advance_instructions: int = 0
+    rally_instructions: int = 0
+
+    @classmethod
+    def from_aggregate(cls, name: str, stats: "CoreStats") -> "PhaseStats":
+        """The single-phase bucket: the whole run's aggregates.
+
+        Single-region programs skip per-commit attribution entirely —
+        one bucket over the whole program *is* the aggregate, so it is
+        synthesised here at run end for zero hot-path cost.
+        """
+        return cls(name=name,
+                   **{field: getattr(stats, field)
+                      for field in PHASE_COUNTERS})
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
 @dataclass
 class CoreStats:
     """Everything a simulation run records."""

@@ -14,6 +14,7 @@ persistent store, keyed by fingerprints the spec composes into.
 
 from .characterize import (
     Characterization,
+    PhaseCharacterization,
     characterize,
     characterize_suite,
     format_characterizations,
@@ -41,6 +42,7 @@ from .spec import (
 __all__ = [
     "ARCHETYPE_POOL",
     "Characterization",
+    "PhaseCharacterization",
     "PhaseSpec",
     "WorkloadSpec",
     "build_workload",

@@ -33,6 +33,26 @@ from .spec import WorkloadSpec, workload_name
 
 
 @dataclass
+class PhaseCharacterization:
+    """Functional proxies for one phase of a composed workload.
+
+    The same counters the timing models' phase attribution buckets at
+    retirement, measured on the functional side — so the per-phase
+    timing view (``repro phases``) and the per-phase functional view
+    (``repro wgen characterize``) line up phase for phase.
+    """
+
+    name: str
+    instructions: int
+    loads_per_ki: float
+    stores_per_ki: float
+    branches_per_ki: float
+    footprint_lines: int
+    d_mpki: float
+    l2_mpki: float
+
+
+@dataclass
 class Characterization:
     """One workload's functional characterisation."""
 
@@ -49,10 +69,20 @@ class Characterization:
     ilp_bound: float
     chained_load_fraction: float
     max_chain_depth: int
+    #: Per-phase proxies (empty for single-phase programs).
+    phases: tuple[PhaseCharacterization, ...] = ()
 
 
-def _miss_proxies(trace, hierarchy: HierarchyConfig) -> tuple[int, int]:
-    """(D$, L2) tag-array misses of the trace's raw address stream."""
+def _miss_proxies(trace, hierarchy: HierarchyConfig,
+                  phase_of=None, per_phase=None) -> tuple[int, int]:
+    """(D$, L2) tag-array misses of the trace's raw address stream.
+
+    With ``phase_of``/``per_phase`` given, each miss is also charged to
+    the accessing instruction's phase bucket (``per_phase`` is a list of
+    ``[d_misses, l2_misses]`` pairs) — the shared tag arrays still walk
+    the whole stream once, so cross-phase interference is represented
+    exactly as the timing hierarchy sees it.
+    """
     l1d = Cache(hierarchy.l1d)
     l2 = Cache(hierarchy.l2)
     d_misses = l2_misses = 0
@@ -62,11 +92,51 @@ def _miss_proxies(trace, hierarchy: HierarchyConfig) -> tuple[int, int]:
             continue
         if not l1d.lookup(hierarchy.l1d.line_addr(addr)):
             d_misses += 1
+            if phase_of is not None:
+                per_phase[phase_of[dyn.index]][0] += 1
             l1d.insert(hierarchy.l1d.line_addr(addr))
             if not l2.lookup(hierarchy.l2.line_addr(addr)):
                 l2_misses += 1
+                if phase_of is not None:
+                    per_phase[phase_of[dyn.index]][1] += 1
                 l2.insert(hierarchy.l2.line_addr(addr))
     return d_misses, l2_misses
+
+
+def _characterize_phases(trace, regions, phase_of,
+                         phase_misses) -> tuple[PhaseCharacterization, ...]:
+    """Per-phase mix/footprint rows for a multi-phase trace."""
+    count = len(regions)
+    insts = [0] * count
+    loads = [0] * count
+    stores = [0] * count
+    branches = [0] * count
+    lines: list[set[int]] = [set() for _ in range(count)]
+    for dyn in trace:
+        phase = phase_of[dyn.index]
+        insts[phase] += 1
+        if dyn.is_load:
+            loads[phase] += 1
+        elif dyn.is_store:
+            stores[phase] += 1
+        if dyn.is_branch:
+            branches[phase] += 1
+        if dyn.addr is not None:
+            lines[phase].add(dyn.addr // 64)
+    rows = []
+    for i, (name, _lo, _hi) in enumerate(regions):
+        per_ki = 1000.0 / max(1, insts[i])
+        rows.append(PhaseCharacterization(
+            name=name,
+            instructions=insts[i],
+            loads_per_ki=loads[i] * per_ki,
+            stores_per_ki=stores[i] * per_ki,
+            branches_per_ki=branches[i] * per_ki,
+            footprint_lines=len(lines[i]),
+            d_mpki=phase_misses[i][0] * per_ki,
+            l2_mpki=phase_misses[i][1] * per_ki,
+        ))
+    return tuple(rows)
 
 
 def _branch_mispredicts(trace) -> int:
@@ -101,7 +171,11 @@ def characterize(workload, instructions: int,
     trace = TRACE_CACHE.get(workload, instructions)
     n = len(trace)
     per_ki = 1000.0 / max(1, n)
-    d_misses, l2_misses = _miss_proxies(trace, hierarchy)
+    regions = trace.program.phase_regions
+    phase_of = trace.phase_index() if len(regions) > 1 else None
+    phase_misses = [[0, 0] for _ in regions] if phase_of is not None else None
+    d_misses, l2_misses = _miss_proxies(trace, hierarchy,
+                                        phase_of, phase_misses)
     flow = dataflow_stats(trace)
     chains = load_chain_stats(trace)
     if isinstance(workload, WorkloadSpec):
@@ -124,6 +198,8 @@ def characterize(workload, instructions: int,
         ilp_bound=flow.ilp_bound,
         chained_load_fraction=chains.chained_load_fraction,
         max_chain_depth=chains.max_chain_depth,
+        phases=(_characterize_phases(trace, regions, phase_of, phase_misses)
+                if phase_of is not None else ()),
     )
 
 
@@ -149,4 +225,12 @@ def format_characterizations(rows: list[Characterization]) -> str:
             f"{row.ilp_bound:5.1f} {row.chained_load_fraction:6.0%} "
             f"{row.max_chain_depth:6d}  {row.mix}"
         )
+        for phase in row.phases:
+            lines.append(
+                f"  {phase.name:14s} {phase.loads_per_ki:6.1f} "
+                f"{phase.stores_per_ki:6.1f} {phase.branches_per_ki:6.1f} "
+                f"{phase.d_mpki:6.1f} {phase.l2_mpki:6.1f} {'':8s} "
+                f"{phase.footprint_lines:7d} {'':5s} {'':6s} {'':6s}  "
+                f"({phase.instructions} insts)"
+            )
     return "\n".join(lines)

@@ -43,6 +43,11 @@ def phase_data_base(index: int) -> int:
     return DATA_BASE + index * PHASE_REGION_BYTES
 
 
+def phase_region_name(index: int, archetype: str) -> str:
+    """Display name of phase ``index`` in attribution tables."""
+    return f"p{index}:{archetype}"
+
+
 def build_workload(spec: WorkloadSpec) -> Kernel:
     """Materialise a spec into an assembled multi-phase kernel."""
     assembler = Assembler(spec.name)
@@ -54,6 +59,17 @@ def build_workload(spec: WorkloadSpec) -> Kernel:
         with assembler.subprogram(f"p{index}", halt_to=successor):
             ARCHETYPES[phase.archetype](assembler, params)
     program = assembler.assemble()
+    # Phase attribution map: phases are emitted contiguously, so phase
+    # i's static code is [label(__phase i), label(__phase i+1)) and the
+    # last phase runs to the end of the program.  The timing models
+    # bucket committed stats by these regions (observation only).
+    bounds = [program.labels[_PHASE_LABEL.format(index=i)]
+              for i in range(count)] + [len(program.instructions)]
+    program.phase_regions = tuple(
+        (phase_region_name(i, spec.phases[i].archetype),
+         bounds[i], bounds[i + 1])
+        for i in range(count)
+    )
     return Kernel(
         name=spec.name,
         program=program,

@@ -73,3 +73,63 @@ def test_idle_skip_is_timing_neutral(cls, kwargs):
         slow = slow_core.run()
         assert fast.cycles == slow.cycles, program.name
         assert fast.instructions == slow.instructions
+
+
+#: Fixed budget for the suite-kernel variant below — deliberately
+#: independent of the REPRO_INSTRUCTIONS fast profile: the cycle-by-
+#: cycle reference side steps every stall cycle individually, so this
+#: runs at full weight no matter what the smoke profile sets.  That is
+#: why it carries the `slow` marker (`make smoke` deselects it; the
+#: full tier-1 run always includes it).
+SUITE_BUDGET = 2500
+
+SUITE_KERNELS = ("mcf_like", "equake_like")
+
+#: Latent divergence this test exposed (pre-existing — reproduced on
+#: the untouched parent tree): in the advance/rally models the leap can
+#: defer wake-ups that the horizon set does not export (e.g. iCFP's
+#: stale-rally re-queue only runs on a *stepped* cycle), so a handful
+#: of cells differ from a cycle-by-cycle simulation outside the pinned
+#: golden grids.  See ROADMAP "Event-horizon leap audit".  Each cell
+#: here is asserted to *still* diverge, so a future leap fix fails this
+#: test loudly and the set shrinks with it (regenerate golden fixtures
+#: and bump ENGINE_VERSION in that same commit).
+KNOWN_DIVERGENT = {
+    ("mcf_like", "MultipassCore"),
+    ("equake_like", "RunaheadCore"),
+    ("equake_like", "MultipassCore"),
+    ("equake_like", "ICFPCore"),
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cls,kwargs", MODELS,
+                         ids=[c.__name__ for c, _ in MODELS])
+@pytest.mark.parametrize("kernel", SUITE_KERNELS)
+def test_idle_skip_is_timing_neutral_on_suite_kernels(cls, kwargs, kernel):
+    """Leap equivalence over real miss-heavy suite kernels (full stats)."""
+    from repro.workloads import trace_by_name
+
+    trace = trace_by_name(kernel, SUITE_BUDGET)
+    fast = cls(trace, config=MachineConfig.hpca09(), **kwargs).run()
+    slow = no_skip(cls(trace, config=MachineConfig.hpca09(), **kwargs)).run()
+    if (kernel, cls.__name__) in KNOWN_DIVERGENT:
+        assert fast.cycles != slow.cycles, (
+            f"{kernel}/{cls.__name__} used to diverge between the leap "
+            "and cycle-by-cycle engines and now matches — remove it from "
+            "KNOWN_DIVERGENT (and close out the ROADMAP leap-audit item "
+            "if the set is empty)"
+        )
+        return
+    # The leap contract covers the timing-visible outcome: cycles and
+    # everything that commits or touches the hierarchy.  Speculative
+    # work counters (advance/rally instructions) may legitimately shift
+    # a little — work done inside a dead stall window can reorder
+    # without changing when anything completes.
+    assert fast.cycles == slow.cycles, kernel
+    assert fast.instructions == slow.instructions
+    assert fast.stats.loads == slow.stats.loads
+    assert fast.stats.stores == slow.stats.stores
+    assert fast.stats.branches == slow.stats.branches
+    assert fast.stats.l1d_misses == slow.stats.l1d_misses
+    assert fast.stats.l2_misses == slow.stats.l2_misses

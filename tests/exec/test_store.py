@@ -16,6 +16,8 @@ import pytest
 from repro.baselines.inorder import InOrderCore
 from repro.exec import RESULT_CACHE, ResultStore, SimJob, default_store, run_jobs
 from repro.exec.store import (
+    ENGINE_VERSION,
+    STORE_SCHEMA,
     cache_dir,
     payload_to_result,
     result_to_payload,
@@ -25,6 +27,9 @@ from repro.exec.store import (
 from repro.harness.experiment import ExperimentConfig
 
 CFG = ExperimentConfig(instructions=400)
+
+#: Current version directory name (record paths live under it).
+VDIR = f"v{STORE_SCHEMA}"
 
 
 def fresh_results(models=("in-order", "icfp"), workload="mcf_like"):
@@ -78,7 +83,7 @@ def test_schema_or_engine_bump_invalidates_cleanly(tmp_path):
     assert bumped_engine.get_result(fp) is None
     assert bumped_engine.misses == 1 and bumped_engine.corrupt == 0
 
-    bumped_schema = ResultStore(root, schema=2)
+    bumped_schema = ResultStore(root, schema=STORE_SCHEMA + 1)
     assert bumped_schema.get_result(fp) is None
     assert bumped_schema.misses == 1 and bumped_schema.corrupt == 0
 
@@ -128,7 +133,7 @@ def test_clear_removes_only_store_owned_entries(tmp_path):
     bystander.write_text("not a store record")
     assert store.clear() == 1
     assert bystander.exists()
-    assert not (root / "v1").exists()
+    assert not (root / VDIR).exists()
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +171,74 @@ def test_corrupt_record_falls_back_to_recompute(tmp_path, damage):
 
 
 # ----------------------------------------------------------------------
+# phase attribution (STORE_SCHEMA v2)
+# ----------------------------------------------------------------------
+def _multi_phase_spec():
+    from repro.wgen import generate_suite
+
+    return next(s for s in generate_suite(4, 42) if len(s.phases) > 1)
+
+
+def test_phase_stats_round_trip_exactly(tmp_path):
+    from dataclasses import fields
+
+    from repro.pipeline.stats import PhaseStats
+
+    spec = _multi_phase_spec()
+    jobs, results = fresh_results(models=("in-order", "icfp"), workload=spec)
+    assert all(len(r.phase_stats) == len(spec.phases) for r in results)
+    store = ResultStore(str(tmp_path / "store"))
+    for job, result in zip(jobs, results):
+        store.put_result(job.fingerprint, result)
+    reader = ResultStore(str(tmp_path / "store"))
+    for job, result in zip(jobs, results):
+        loaded = reader.get_result(job.fingerprint)
+        assert loaded is not None
+        assert result_to_payload(loaded) == result_to_payload(result)
+        for a, b in zip(loaded.phase_stats, result.phase_stats):
+            for f in fields(PhaseStats):
+                assert getattr(a, f.name) == getattr(b, f.name)
+    assert reader.corrupt == 0
+
+
+def test_single_bucket_and_none_phase_stats_round_trip(tmp_path):
+    jobs, results = fresh_results(models=("in-order",))
+    assert len(results[0].phase_stats) == 1  # named kernel: one bucket
+    results[0].phase_stats = None            # externally built program case
+    store = ResultStore(str(tmp_path / "store"))
+    store.put_result(jobs[0].fingerprint, results[0])
+    assert store.get_result(jobs[0].fingerprint).phase_stats is None
+
+
+def test_record_without_phases_key_is_corrupt(tmp_path):
+    """The v2 layout requires `phases`; a mismatched payload recomputes."""
+    jobs, results = fresh_results(models=("in-order",))
+    fp = jobs[0].fingerprint
+    store = ResultStore(str(tmp_path / "store"))
+    store.put_result(fp, results[0])
+    payload = store.get_json("results", fp)
+    del payload["phases"]
+    store.put_json("results", fp, payload)
+    reader = ResultStore(str(tmp_path / "store"))
+    assert reader.get_result(fp) is None
+    assert reader.corrupt == 1
+
+
+def test_pre_bump_schema_records_are_invisible(tmp_path):
+    """Records written under the previous schema are never read (or
+    misread) by the current one — the bump hides them until gc."""
+    root = str(tmp_path / "store")
+    jobs, results = fresh_results(models=("in-order",))
+    fp = jobs[0].fingerprint
+    old = ResultStore(root, schema=STORE_SCHEMA - 1)
+    old.put_result(fp, results[0])
+    current = ResultStore(root)
+    assert current.get_result(fp) is None
+    assert current.misses == 1 and current.corrupt == 0
+    assert current.gc(older_than_days=10_000)["stale"] == 1
+
+
+# ----------------------------------------------------------------------
 # the three-tier run_jobs path
 # ----------------------------------------------------------------------
 def test_run_jobs_hits_store_for_every_cell_after_memo_clear(monkeypatch):
@@ -196,7 +269,8 @@ def test_memo_false_bypasses_store_by_default(tmp_path):
     jobs = [SimJob("in-order", "mesa_like", CFG)]
     run_jobs(jobs, workers=1, memo=False)
     store_root = cache_dir()
-    assert not os.path.exists(os.path.join(store_root, "v1", "eh2", "results"))
+    assert not os.path.exists(os.path.join(store_root, VDIR, ENGINE_VERSION,
+                                           "results"))
 
 
 def test_store_false_disables_disk_tier():
@@ -205,7 +279,7 @@ def test_store_false_disables_disk_tier():
     run_jobs(jobs, workers=1, store=False)
     # No result records (warm checkpoints are governed by REPRO_STORE,
     # not by run_jobs' store= argument).
-    assert not os.path.exists(os.path.join(cache_dir(), "v1", "eh2",
+    assert not os.path.exists(os.path.join(cache_dir(), VDIR, ENGINE_VERSION,
                                            "results"))
 
 

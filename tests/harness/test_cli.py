@@ -4,6 +4,7 @@ import os
 
 import pytest
 
+from repro.exec.store import ENGINE_VERSION, STORE_SCHEMA
 from repro.harness.cli import build_parser, main
 
 
@@ -17,7 +18,7 @@ def test_parser_has_all_commands():
     text = parser.format_help()
     for command in ("characterize", "figure5", "figure6", "figure7",
                     "figure8", "table2", "scenarios", "area", "sweep", "run",
-                    "cache"):
+                    "cache", "phases"):
         assert command in text
 
 
@@ -53,6 +54,25 @@ def test_figure5_subset(capsys):
     assert "gmean SPEC" in out
 
 
+def test_phases_command_breaks_down_generated_workloads(capsys):
+    out = run_cli(capsys, "phases", "-w", "gen:2:42", "-m", "icfp",
+                  "-n", "600", "-j", "1")
+    assert "Per-phase attribution" in out
+    # gen:2:42's first spec is multi-phase: per-phase rows plus a total.
+    assert "p0:" in out and "p1:" in out and "total" in out
+
+
+def test_phases_command_requires_workloads():
+    with pytest.raises(SystemExit):
+        main(["phases"])
+
+
+def test_run_command_prints_phase_breakdown(capsys):
+    out = run_cli(capsys, "run", "-w", "gen:2:42", "gen42_00", "icfp",
+                  "-n", "600", "-j", "1")
+    assert "p0:" in out and "p1:" in out
+
+
 def test_unknown_kernel_rejected():
     with pytest.raises(SystemExit):
         main(["characterize", "-w", "quake_like"])
@@ -74,13 +94,14 @@ def test_campaign_populates_store_and_cache_stats_reports_it(capsys):
     run_cli(capsys, "run", "mesa_like", "icfp", "-n", "400", "-j", "1")
     out = run_cli(capsys, "cache", "stats")
     assert "results" in out and "warm" in out
-    assert os.path.isdir(os.path.join(store_root(), "v1", "eh2", "results"))
+    assert os.path.isdir(os.path.join(store_root(), f"v{STORE_SCHEMA}",
+                                  ENGINE_VERSION, "results"))
 
 
 def test_no_store_flag_disables_result_records(capsys):
     run_cli(capsys, "run", "mesa_like", "icfp", "-n", "400", "-j", "1",
             "--no-store")
-    assert not os.path.exists(os.path.join(store_root(), "v1"))
+    assert not os.path.exists(os.path.join(store_root(), f"v{STORE_SCHEMA}"))
 
 
 def test_cache_clear_empties_the_store(capsys):

@@ -1,0 +1,47 @@
+"""Per-phase attribution surfaces in the harness layers."""
+
+from repro.harness import ExperimentConfig, figure5, phase_summary, run_suite
+from repro.harness.phases import format_phase_table
+from repro.harness.sweep import poison_bits_sweep
+from repro.pipeline.stats import PHASE_COUNTERS
+from repro.wgen import generate_suite
+
+CFG = ExperimentConfig(instructions=600)
+
+_SPECS = [s for s in generate_suite(4, 42) if len(s.phases) > 1][:1]
+
+
+def test_run_suite_results_carry_phase_stats():
+    results = run_suite(("in-order", "icfp"), _SPECS, CFG, jobs=1)
+    summary = phase_summary(results)
+    for spec in _SPECS:
+        for model in ("in-order", "icfp"):
+            rows = summary[spec.name][model]
+            assert len(rows) == len(spec.phases)
+            result = results[spec.name][model]
+            for counter in PHASE_COUNTERS:
+                assert (sum(row[counter] for row in rows)
+                        == getattr(result.stats, counter))
+
+
+def test_format_phase_table_lists_every_phase_and_total():
+    results = run_suite(("icfp",), _SPECS, CFG, jobs=1)
+    table = format_phase_table(results)
+    spec = _SPECS[0]
+    for index, phase in enumerate(spec.phases):
+        assert f"p{index}:{phase.archetype}" in table
+    assert "total" in table
+
+
+def test_figure5_exposes_phase_summary():
+    fig = figure5(CFG, workloads=_SPECS)
+    rows = fig.phases[_SPECS[0].name]["icfp"]
+    assert len(rows) == len(_SPECS[0].phases)
+
+
+def test_sweep_exposes_phase_summary():
+    sweep = poison_bits_sweep(widths=(1, 8), workloads=_SPECS, config=CFG)
+    for width in (1, 8):
+        rows = sweep.phases[width][_SPECS[0].name]
+        assert len(rows) == len(_SPECS[0].phases)
+        assert all(row["cycles"] >= 0 for row in rows)

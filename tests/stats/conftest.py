@@ -1,0 +1,35 @@
+"""Shared helpers for the phase-attribution test layer."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def stats_dict():
+    """Full-stats dictionary converter (every recorded statistic).
+
+    Mirrors the golden-regression fixture shape so "byte-identical
+    stats" means the same thing here as in tests/engine.
+    """
+    scalars = (
+        "cycles", "instructions", "loads", "stores", "branches",
+        "branch_mispredicts", "l1d_misses", "l2_misses", "secondary_misses",
+        "advance_entries", "advance_instructions", "rally_passes",
+        "rally_instructions", "slice_captures", "squashes",
+        "simple_runahead_entries", "store_forward_hits", "store_forward_hops",
+    )
+    stall_fields = (
+        "src_wait", "waw_wait", "port", "store_buffer_full", "mshr_full",
+        "frontend", "slice_buffer_full", "poisoned_store_addr",
+    )
+
+    def convert(stats) -> dict:
+        out = {name: getattr(stats, name) for name in scalars}
+        out["stalls"] = {name: getattr(stats.stalls, name)
+                         for name in stall_fields}
+        for meter_name in ("d_mlp", "l2_mlp"):
+            meter = getattr(stats, meter_name)
+            out[meter_name] = {"count": meter.count,
+                               "average": repr(meter.average())}
+        return out
+
+    return convert

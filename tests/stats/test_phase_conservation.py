@@ -1,0 +1,130 @@
+"""The conservation law of phase attribution.
+
+Phase buckets are mirrored increments of the aggregate counters, so for
+every model and every composed workload each per-phase counter must sum
+*byte-exactly* to the matching whole-run aggregate — cycles partition
+the run, commits/misses/advance/rally work partition their totals.
+Single-phase named kernels must report exactly one bucket that *is*
+the aggregate (so attribution changes nothing about today's numbers:
+no golden-fixture drift, no ENGINE_VERSION bump).
+"""
+
+import pytest
+
+from repro.core.icfp import ICFPFeatures
+from repro.exec.cache import TRACE_CACHE
+from repro.harness.experiment import MODELS, ExperimentConfig, run_model
+from repro.pipeline.stats import PHASE_COUNTERS
+from repro.wgen import WorkloadSpec, generate_suite
+from repro.wgen.spec import PhaseSpec
+from repro.workloads.builders import KernelParams
+
+INSTRUCTIONS = 1500
+
+#: A seeded generated suite plus a handcrafted 3-phase stressor whose
+#: noisy branches exercise the iCFP squash path (squashes un-count
+#: committed work from aggregates *and* buckets; conservation must
+#: survive them).
+def conservation_workloads() -> list[WorkloadSpec]:
+    suite = generate_suite(4, 42)
+    stressor = WorkloadSpec(
+        name="conservation_stressor",
+        phases=(
+            PhaseSpec("pointer_chase",
+                      KernelParams(iterations=24, footprint_bytes=1 << 20)),
+            PhaseSpec("hash_join",
+                      KernelParams(iterations=24,
+                                   unpredictable_branches=0.6,
+                                   footprint_bytes=1 << 20)),
+            PhaseSpec("streaming",
+                      KernelParams(iterations=24, stores=True,
+                                   footprint_bytes=1 << 20)),
+        ),
+    )
+    return list(suite) + [stressor]
+
+
+def multi_phase_workloads():
+    return [s for s in conservation_workloads() if len(s.phases) > 1]
+
+
+def assert_conserved(result, expected_phases: int, context: str) -> None:
+    phases = result.phase_stats
+    assert phases is not None and len(phases) == expected_phases, context
+    for counter in PHASE_COUNTERS:
+        bucketed = sum(getattr(p, counter) for p in phases)
+        aggregate = getattr(result.stats, counter)
+        assert bucketed == aggregate, (
+            f"{context}: {counter} buckets sum to {bucketed}, "
+            f"aggregate is {aggregate}"
+        )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_generated_suite_conserves_every_counter(model):
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    assert multi_phase_workloads(), "seed produced no multi-phase specs"
+    for spec in conservation_workloads():
+        trace = TRACE_CACHE.get(spec, INSTRUCTIONS)
+        result = run_model(model, trace, config)
+        assert_conserved(result, len(spec.phases), f"{spec.name}/{model}")
+
+
+def test_conservation_survives_icfp_squashes():
+    """The stressor must actually squash on iCFP — and stay conserved."""
+    config = ExperimentConfig(
+        instructions=INSTRUCTIONS,
+        icfp_features=ICFPFeatures(advance_on="all"),
+    )
+    spec = conservation_workloads()[-1]
+    trace = TRACE_CACHE.get(spec, INSTRUCTIONS)
+    result = run_model("icfp", trace, config)
+    assert result.stats.squashes > 0, (
+        "stressor no longer squashes; pick noisier phases so the "
+        "checkpoint-restore path stays covered"
+    )
+    assert_conserved(result, len(spec.phases), "stressor/icfp")
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("kernel",
+                         ("mcf_like", "mesa_like", "equake_like", "gzip_like"))
+def test_named_kernels_report_one_bucket_equal_to_aggregates(model, kernel):
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    trace = TRACE_CACHE.get(kernel, INSTRUCTIONS)
+    result = run_model(model, trace, config)
+    assert_conserved(result, 1, f"{kernel}/{model}")
+    bucket = result.phase_stats[0]
+    assert bucket.name == kernel
+    assert bucket.cycles == result.stats.cycles
+    assert bucket.instructions == result.stats.instructions
+
+
+def test_cycle_buckets_partition_the_run():
+    """Cycles are spans: non-negative per bucket, total exactly cycles."""
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    for spec in multi_phase_workloads():
+        trace = TRACE_CACHE.get(spec, INSTRUCTIONS)
+        for model in MODELS:
+            result = run_model(model, trace, config)
+            assert all(p.cycles >= 0 for p in result.phase_stats)
+            assert sum(p.cycles for p in result.phase_stats) == result.cycles
+
+
+def test_externally_built_programs_opt_out():
+    """A Program constructed without phase regions reports no buckets."""
+    from repro.functional import run_program
+    from repro.isa.program import Program
+    from repro.isa.assembler import Assembler
+    from repro.isa.registers import R
+
+    a = Assembler("bare")
+    a.li(R.r1, 1)
+    a.halt()
+    assembled = a.assemble()
+    bare = Program(instructions=assembled.instructions,
+                   labels=assembled.labels, data=assembled.data,
+                   name="bare")
+    trace = run_program(bare)
+    result = run_model("in-order", trace, ExperimentConfig(instructions=100))
+    assert result.phase_stats is None

@@ -1,0 +1,82 @@
+"""Differential probe: phase attribution is observation-only.
+
+Running the identical trace with attribution off (no phase regions),
+with the normal single whole-program region, and with a *forced*
+synthetic multi-region split must produce byte-identical cycles and
+full stats on every model — the forced split drives the live
+per-commit bucketing path on kernels that would otherwise synthesise
+their one bucket at run end, so the probe covers the hot path, not
+just the fallback.
+
+The full 24-kernel x 5-model grid carries the `slow` marker (it ignores
+the smoke fast profile by design); a 4-kernel slice runs in every
+profile so the invariant never goes unwatched.
+"""
+
+import pytest
+
+from repro.exec.cache import TRACE_CACHE
+from repro.harness.experiment import MODELS, ExperimentConfig, run_model
+from repro.wgen import generate_suite
+from repro.workloads import ALL_KERNELS
+
+INSTRUCTIONS = 800
+SMOKE_KERNELS = ("mcf_like", "mesa_like", "equake_like", "gzip_like")
+
+
+def split_regions(program, pieces: int = 2):
+    """Synthetic equal static splits (attribution must not care)."""
+    n = len(program.instructions)
+    bounds = [round(i * n / pieces) for i in range(pieces + 1)]
+    return tuple((f"s{i}", bounds[i], bounds[i + 1]) for i in range(pieces))
+
+
+def assert_attribution_invisible(trace, model, config, stats_dict,
+                                 context: str) -> None:
+    plain = run_model(model, trace, config)
+    off = run_model(model, trace.with_phase_regions(()), config)
+    forced = run_model(
+        model, trace.with_phase_regions(split_regions(trace.program, 3)),
+        config)
+    reference = stats_dict(plain.stats)
+    assert stats_dict(off.stats) == reference, f"{context}: off != on"
+    assert stats_dict(forced.stats) == reference, f"{context}: forced split"
+    assert off.phase_stats is None
+    assert len(forced.phase_stats) == 3
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("kernel", SMOKE_KERNELS)
+def test_attribution_is_observation_only_smoke_slice(model, kernel,
+                                                     stats_dict):
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    trace = TRACE_CACHE.get(kernel, INSTRUCTIONS)
+    assert_attribution_invisible(trace, model, config, stats_dict,
+                                 f"{kernel}/{model}")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model", MODELS)
+def test_attribution_is_observation_only_full_grid(model, stats_dict):
+    """All 24 named kernels (fixed budget — ignores the smoke profile)."""
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    for kernel in ALL_KERNELS:
+        trace = TRACE_CACHE.get(kernel, INSTRUCTIONS)
+        assert_attribution_invisible(trace, model, config, stats_dict,
+                                     f"{kernel}/{model}")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_attribution_is_observation_only_on_generated_phases(model,
+                                                             stats_dict):
+    """Composed multi-phase programs: real regions on vs stripped off."""
+    config = ExperimentConfig(instructions=INSTRUCTIONS)
+    specs = [s for s in generate_suite(4, 42) if len(s.phases) > 1]
+    assert specs
+    for spec in specs:
+        trace = TRACE_CACHE.get(spec, INSTRUCTIONS)
+        on = run_model(model, trace, config)
+        off = run_model(model, trace.with_phase_regions(()), config)
+        assert stats_dict(on.stats) == stats_dict(off.stats), spec.name
+        assert len(on.phase_stats) == len(spec.phases)
+        assert off.phase_stats is None

@@ -46,3 +46,32 @@ def test_miss_proxies_order_footprints():
     large = characterize(stream(512, "large_ws"), BUDGET)
     assert large.footprint_lines > small.footprint_lines
     assert large.d_mpki > small.d_mpki
+
+
+def test_per_phase_proxies_decompose_the_whole_program():
+    spec = WorkloadSpec(name="two_face", phases=(
+        PhaseSpec("pointer_chase",
+                  KernelParams(footprint_bytes=1 << 20, iterations=32,
+                               seed=5)),
+        PhaseSpec("streaming",
+                  KernelParams(hot_bytes=8 * 1024, stride_bytes=64,
+                               compute=0, iterations=32, seed=6)),
+    ))
+    row = characterize(spec, BUDGET)
+    assert len(row.phases) == 2
+    assert [p.name for p in row.phases] == ["p0:pointer_chase",
+                                            "p1:streaming"]
+    # Instruction counts decompose exactly; miss proxies decompose
+    # because every tag-array miss is charged to exactly one phase.
+    assert sum(p.instructions for p in row.phases) == row.instructions
+    d_total = sum(p.d_mpki * p.instructions / 1000.0 for p in row.phases)
+    assert abs(d_total - row.d_mpki * row.instructions / 1000.0) < 1e-6
+    # The functional view separates the phases' characters: the chaser
+    # phase misses the L2; the hot streaming phase stays resident.
+    chase, stream = row.phases
+    assert chase.l2_mpki > stream.l2_mpki
+    assert row.mix == "pointer_chase>streaming"
+
+
+def test_single_phase_characterisation_has_no_phase_rows():
+    assert characterize("mcf_like", BUDGET).phases == ()
