@@ -11,12 +11,17 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Fast-profile knobs (override on the command line as needed).
 SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
-SMOKE_TESTS ?= tests/exec tests/harness tests/engine tests/workloads tests/wgen tests/stats
+SMOKE_TESTS ?= tests/exec tests/faults tests/harness tests/engine tests/workloads tests/wgen tests/stats
 # Smoke deselects @pytest.mark.slow (wide fixed-budget grids that ignore
 # the REPRO_* fast profile); the full suite always runs them.
 SMOKE_MARKERS ?= not slow
 
-.PHONY: test smoke smoke-campaign bench bench-warm bench-throughput
+# Chaos profile: the full fault-injection matrix (worker deaths, pool
+# resurrection, timeouts, SIGKILL-resume, store corruption) at a fixed
+# seed — deterministic, so a chaos failure reproduces exactly.
+CHAOS_TESTS ?= tests/faults
+
+.PHONY: test smoke smoke-campaign chaos bench bench-warm bench-throughput
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -40,11 +45,21 @@ smoke-campaign:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS)
 
+## The complete fault-injection matrix, slow tests included: injected
+## worker deaths and exceptions retried to byte-identical results, pool
+## resurrection and sequential degradation, per-job timeouts, a real
+## SIGKILL mid-campaign with fresh-process resume, and store
+## truncation -> quarantine -> heal.  Everything is seed-driven (no
+## randomness), so failures replay deterministically.
+chaos:
+	$(PYTHON) -m pytest -x -q $(CHAOS_TESTS)
+
 ## Campaign throughput (jobs=1 vs jobs=N, disk-store cold/warm, a
-## seeded generated suite, and the phase-attribution on/off delta) as
-## machine-readable JSON, plus the compact trend record (schema v4:
-## commit, jobs, grid, sims/sec, store cold/warm + hit counts,
-## generated-suite build/sim rates, attribution overhead, env).
+## seeded generated suite, the phase-attribution on/off delta, and the
+## fault-tolerance faults-off-vs-chaos delta) as machine-readable JSON,
+## plus the compact trend record (schema v5: commit, jobs, grid,
+## sims/sec, store cold/warm + hit counts, generated-suite build/sim
+## rates, attribution overhead, recovery overhead, env).
 ## BENCH_throughput.json at the repo root is the checked-in baseline;
 ## compare a fresh run against it to see the bench trajectory.
 bench:

@@ -1,6 +1,6 @@
 """Campaign throughput: the Figure 5 grid, engine speed vs cache power.
 
-Four measurements, separated so the trend record can tell them apart:
+Five measurements, separated so the trend record can tell them apart:
 
 * **engine speed** — jobs=1 vs jobs=N over the grid with every memo
   tier off (``memo=False``): pure simulation throughput.
@@ -19,6 +19,10 @@ Four measurements, separated so the trend record can tell them apart:
   per-phase attribution on (their real phase regions) vs off (regions
   stripped from the identical traces), so the live bucketing's hot-path
   cost stays visible in the perf trajectory.
+* **fault-tolerance overhead** — the same pooled grid with faults off
+  vs ~10% deterministic worker death (pool teardown, resurrection,
+  retries), so the recovery path's price — and the byte-identical
+  contract under chaos — stay visible in the perf trajectory.
 
 Usable three ways:
 
@@ -27,9 +31,9 @@ Usable three ways:
   ``--store-dir`` persists the store between invocations (second runs
   are store-hot); ``--store-only`` skips the jobs=1-vs-N comparison.
 * ``--output BENCH_throughput.json`` additionally writes the compact
-  trend record (schema v4: commit, jobs, grid, sims/sec, store cold/warm
+  trend record (schema v5: commit, jobs, grid, sims/sec, store cold/warm
   wall + hit counts, generated-suite rates, phase-attribution delta,
-  env) — ``make bench`` uses this, and the checked-in
+  fault-recovery delta, env) — ``make bench`` uses this, and the checked-in
   ``BENCH_throughput.json`` at the repo root is the baseline.
 * under pytest it asserts the parallel run and the store-warm pass both
   reproduce the sequential results exactly, on a reduced grid.
@@ -48,7 +52,15 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.exec import RESULT_CACHE, ResultStore, default_jobs, run_jobs  # noqa: E402
+from repro.exec import (  # noqa: E402
+    RESULT_CACHE,
+    CampaignReport,
+    FaultPlan,
+    ResultStore,
+    default_jobs,
+    injected_faults,
+    run_jobs,
+)
 from repro.exec.store import result_to_payload  # noqa: E402
 from repro.harness.experiment import (  # noqa: E402
     MODELS,
@@ -239,6 +251,83 @@ def run_generated_phase(config: ExperimentConfig,
     }
 
 
+#: Fault-tolerance phase defaults: the target worker-death rate and the
+#: pooled worker count (2 keeps the phase cheap and the recovery path —
+#: one death breaks the whole pool — maximally visible).
+FAULT_DEATH_RATE = 0.1
+FAULT_JOBS = 2
+
+
+def _fault_plan(fingerprints, rate: float = FAULT_DEATH_RATE) -> FaultPlan:
+    """The first seed whose predicted first-attempt deaths hit ``rate``.
+
+    Searched deterministically over the actual campaign fingerprints,
+    so the phase always injects (a hardcoded seed could silently decay
+    to a fault-free run when a config change moves the fingerprints).
+    """
+    need = max(1, round(rate * len(fingerprints)))
+    for seed in range(500):
+        plan = FaultPlan(seed=seed, worker_death=rate)
+        if sum(plan.would_fail("worker_death", fp)
+               for fp in fingerprints) >= need:
+            return plan
+    raise RuntimeError("no qualifying fault seed found")
+
+
+def run_fault_tolerance_phase(config: ExperimentConfig, workloads,
+                              jobs: int = FAULT_JOBS) -> dict:
+    """Faults-off vs ~10% worker death over a pooled grid.
+
+    Both passes run the same grid memo-off at the same worker count;
+    the chaos pass additionally absorbs deterministic worker deaths
+    (pool teardown + resurrection + retries).  The recorded overhead
+    percentage is the price of recovery, and ``results_identical`` pins
+    the contract that recovery never changes a result.
+    """
+    from repro.exec import TRACE_CACHE
+
+    specs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+    plan = _fault_plan([s.fingerprint for s in specs])
+    predicted = sum(plan.would_fail("worker_death", s.fingerprint)
+                    for s in specs)
+
+    clean_report = CampaignReport()
+    start = time.perf_counter()
+    clean = run_jobs(specs, workers=jobs, memo=False, store=False,
+                     report=clean_report)
+    clean_wall = time.perf_counter() - start
+
+    chaos_report = CampaignReport()
+    start = time.perf_counter()
+    with injected_faults(plan):
+        chaos = run_jobs(specs, workers=jobs, memo=False, store=False,
+                         report=chaos_report)
+    chaos_wall = time.perf_counter() - start
+
+    identical = ([result_to_payload(r) for r in clean]
+                 == [result_to_payload(r) for r in chaos])
+    sims = len(specs)
+    return {
+        "simulations": sims,
+        "jobs": jobs,
+        "death_rate": plan.worker_death,
+        "seed": plan.seed,
+        "predicted_first_attempt_deaths": predicted,
+        "clean_wall_s": round(clean_wall, 4),
+        "chaos_wall_s": round(chaos_wall, 4),
+        "clean_sims_per_sec": round(sims / clean_wall, 2),
+        "chaos_sims_per_sec": round(sims / chaos_wall, 2),
+        "recovery_overhead_pct": round(
+            (chaos_wall - clean_wall) / clean_wall * 100.0, 2),
+        "retries": chaos_report.retries,
+        "pool_breaks": chaos_report.pool_breaks,
+        "degradations": chaos_report.degradations,
+        "results_identical": identical,
+    }
+
+
 def campaign_throughput(parallel_jobs: int | None = None,
                         config: ExperimentConfig | None = None,
                         workloads=None, store_dir: str | None = None,
@@ -283,6 +372,8 @@ def campaign_throughput(parallel_jobs: int | None = None,
                 del side["cycles"]  # bulky; the verdict is what matters
             report["generated"] = run_generated_phase(config)
             report["phase_attribution"] = run_phase_attribution_phase(config)
+            report["fault_tolerance"] = run_fault_tolerance_phase(
+                config, workloads)
         report["store"] = run_store_phase(config, workloads, store_dir)
     finally:
         if prior_store_env is None:
@@ -315,6 +406,11 @@ def test_campaign_throughput(once):
     assert attribution["simulations"] > 0, "no multi-phase specs sampled"
     assert attribution["on_sims_per_sec"] > 0
     assert attribution["off_sims_per_sec"] > 0
+    faults = report["fault_tolerance"]
+    assert faults["results_identical"], "chaos recovery changed a result"
+    assert faults["predicted_first_attempt_deaths"] >= 1
+    assert faults["pool_breaks"] >= 1, "no worker death actually landed"
+    assert faults["chaos_sims_per_sec"] > 0
 
 
 def git_commit() -> str:
@@ -332,23 +428,25 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema v4: commit, jobs, grid, sims/sec (engine speed), the store's
+    Schema v5: commit, jobs, grid, sims/sec (engine speed), the store's
     cold-vs-warm wall clocks with hit/miss/write counters (cache
     effectiveness), the generated-suite build/sim rates (wgen
     trajectory), the phase-attribution on-vs-off delta (attribution
-    overhead trajectory), and the environment (``REPRO_JOBS``, cpu
-    count) — enough for a dashboard to plot every trajectory across
+    overhead trajectory), the fault-tolerance faults-off-vs-chaos delta
+    (recovery overhead trajectory), and the environment (``REPRO_JOBS``,
+    cpu count) — enough for a dashboard to plot every trajectory across
     PRs, and to tell an engine regression from a cache regression from
-    a generator or attribution regression, without re-parsing the full
-    report.
+    a generator, attribution, or recovery-path regression, without
+    re-parsing the full report.
     """
     sequential = report["sequential"]
     parallel = report["parallel"]
     store = report["store"]
     generated = report["generated"]
     attribution = report["phase_attribution"]
+    faults = report["fault_tolerance"]
     return {
-        "schema": "bench_throughput/v4",
+        "schema": "bench_throughput/v5",
         "commit": git_commit(),
         "jobs": {"sequential": 1, "parallel": parallel["jobs"]},
         "grid": {
@@ -402,6 +500,21 @@ def bench_record(report: dict) -> dict:
             "on_sims_per_sec": attribution["on_sims_per_sec"],
             "off_sims_per_sec": attribution["off_sims_per_sec"],
             "overhead_pct": attribution["overhead_pct"],
+        },
+        "fault_tolerance": {
+            "simulations": faults["simulations"],
+            "jobs": faults["jobs"],
+            "death_rate": faults["death_rate"],
+            "predicted_first_attempt_deaths":
+                faults["predicted_first_attempt_deaths"],
+            "clean_wall_s": faults["clean_wall_s"],
+            "chaos_wall_s": faults["chaos_wall_s"],
+            "clean_sims_per_sec": faults["clean_sims_per_sec"],
+            "chaos_sims_per_sec": faults["chaos_sims_per_sec"],
+            "recovery_overhead_pct": faults["recovery_overhead_pct"],
+            "pool_breaks": faults["pool_breaks"],
+            "retries": faults["retries"],
+            "results_identical": faults["results_identical"],
         },
         "results_identical": report["results_identical"],
     }

@@ -22,6 +22,11 @@ def hermetic_result_store(tmp_path, monkeypatch):
     """Benchmarks must not read or pollute a developer's .repro-cache/."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     monkeypatch.delenv("REPRO_STORE", raising=False)
+    # Ambient chaos / retry knobs would skew every timing below;
+    # fault-tolerance benchmarking injects its own plan explicitly.
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
 
 
 def run_once(benchmark, fn):

@@ -19,13 +19,36 @@ executes them through one engine that
 * **parallelises** across a process pool (:mod:`.engine`), controlled by
   ``REPRO_JOBS`` / ``--jobs`` with a sequential in-process fallback at
   ``jobs=1``, and guarantees results identical to sequential execution
-  (simulations are deterministic functions of their job spec).
+  (simulations are deterministic functions of their job spec);
+* **survives faults** (:mod:`.engine` + :mod:`.faults`): per-job
+  timeouts (``REPRO_JOB_TIMEOUT``), bounded retries with capped
+  exponential backoff (``REPRO_RETRIES``), pool resurrection after
+  worker death with surviving results kept, graceful degradation to
+  sequential execution, incremental store flush (crash-resume for
+  free), corrupt-record quarantine, and a deterministic chaos harness
+  (``REPRO_FAULTS``) that proves all of it — with every incident
+  tallied in a :class:`~repro.exec.report.CampaignReport`.
 """
 
 from .cache import RESULT_CACHE, TRACE_CACHE, ResultCache, TraceCache
-from .engine import default_jobs, parallel_map, run_jobs
+from .engine import (
+    RetryExhaustedError,
+    RetryPolicy,
+    default_jobs,
+    parallel_map,
+    run_jobs,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    active_injector,
+    injected_faults,
+    set_fault_plan,
+)
 from .fingerprint import canonical, fingerprint
 from .job import SimJob
+from .report import CampaignReport, JobFailure
 from .store import (
     ENGINE_VERSION,
     STORE_SCHEMA,
@@ -40,6 +63,16 @@ __all__ = [
     "run_jobs",
     "parallel_map",
     "default_jobs",
+    "RetryPolicy",
+    "RetryExhaustedError",
+    "CampaignReport",
+    "JobFailure",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "injected_faults",
+    "set_fault_plan",
+    "active_injector",
     "fingerprint",
     "canonical",
     "TraceCache",

@@ -1,19 +1,46 @@
-"""The campaign scheduler: memoize, dedupe, fan out, reassemble.
+"""The campaign scheduler: memoize, dedupe, fan out, survive, reassemble.
 
 ``run_jobs`` is the one entry point the harness uses.  It guarantees
 results identical to sequential execution: a simulation is a
 deterministic function of its :class:`~repro.exec.job.SimJob` spec, so
-where the result is computed (this process, a pooled worker, an earlier
-call via the memo, or an earlier *run* via the disk store) cannot
-change it.
+where the result is computed (this process, a pooled worker, a retried
+attempt after a crash, an earlier call via the memo, or an earlier
+*run* via the disk store) cannot change it.
 
 Each fresh fingerprint resolves through three tiers:
 
 1. RAM memo (:data:`~repro.exec.cache.RESULT_CACHE`),
 2. disk store (:mod:`~repro.exec.store`, ``REPRO_CACHE_DIR``) — batched
-   load before the pool, batched flush after it, so the per-job cost is
-   one lookup per fresh fingerprint,
+   load before the pool; each computed result is flushed *the moment it
+   completes*, so a crashed campaign resumes from its last finished
+   cell, not from zero,
 3. compute (the pool, or in-process at ``jobs=1``).
+
+Fault tolerance (the reliability substrate for the distributed fabric):
+jobs are submitted as individual futures, not a ``pool.map`` batch, so
+
+* a per-job wall-clock timeout (:class:`RetryPolicy.job_timeout`,
+  ``REPRO_JOB_TIMEOUT``) reaps slow cells and retries them;
+* a retryable failure (an injected chaos fault, a timeout) is
+  re-submitted with capped exponential backoff, at most
+  :class:`RetryPolicy.max_attempts` (``REPRO_RETRIES`` + 1) times;
+* a dead worker (``BrokenProcessPool`` — the OOM-killer case) costs
+  only the in-flight work: completed futures keep their results, the
+  pool is resurrected, and unfinished jobs are resubmitted;
+* after :class:`RetryPolicy.max_pool_breaks` pool deaths the engine
+  degrades gracefully to sequential in-process execution (with a fresh
+  retry budget), which always terminates;
+* everything the engine absorbed is tallied in a
+  :class:`~repro.exec.report.CampaignReport` — robustness is
+  observable, never silent.
+
+Failures that survive retries are *annotated* with the failing job's
+fingerprint and workload, and ``disk.flush_counters()`` plus every
+already-completed result's store flush happen regardless (try/finally),
+so one bad cell never discards its siblings' work.
+
+Deterministic fault injection lives in :mod:`repro.exec.faults`
+(``REPRO_FAULTS`` / :func:`~repro.exec.faults.injected_faults`).
 
 Worker count resolution, everywhere in the engine:
 
@@ -22,16 +49,28 @@ Worker count resolution, everywhere in the engine:
 3. ``os.cpu_count()``.
 
 ``jobs=1`` (however it was resolved) runs sequentially in-process — no
-pool, no pickling, no forked interpreters.
+pool, no pickling, no forked interpreters (but still with bounded
+retries for injected faults).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 from .cache import RESULT_CACHE
+from .faults import InjectedFault, active_injector, mark_worker_process
+from .report import CampaignReport, JobFailure
 
 
 def default_jobs() -> int:
@@ -47,9 +86,72 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+class RetryExhaustedError(RuntimeError):
+    """A job failed every allowed attempt; carries its identity."""
+
+    def __init__(self, label: str, fingerprint: str, attempts: int,
+                 last: BaseException) -> None:
+        super().__init__(
+            f"job {label} (fingerprint {fingerprint[:16]}) failed "
+            f"{attempts} attempts; last error: {last}")
+        self.label = label
+        self.fingerprint = fingerprint
+        self.attempts = attempts
+        self.__cause__ = last
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs for one campaign.
+
+    ``max_attempts`` bounds executions per job *per regime* (pooled,
+    then sequential-degraded — degradation grants a fresh budget, since
+    pool casualties say nothing about the job itself).  ``job_timeout``
+    (seconds, pooled execution only) reaps attempts that overrun it.
+    Backoff before a retry is ``min(cap, base * 2**(attempt-1))``.
+    ``max_pool_breaks`` worker-pool deaths are survived by resurrection
+    before the engine degrades to sequential in-process execution.
+    """
+
+    max_attempts: int = 4
+    job_timeout: float | None = None
+    backoff_base: float = 0.02
+    backoff_cap: float = 0.5
+    max_pool_breaks: int = 3
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """``REPRO_RETRIES`` (extra attempts) / ``REPRO_JOB_TIMEOUT``."""
+        kwargs: dict[str, object] = {}
+        retries = os.environ.get("REPRO_RETRIES")
+        if retries:
+            try:
+                kwargs["max_attempts"] = max(1, int(retries) + 1)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_RETRIES must be an integer, got {retries!r}"
+                ) from None
+        timeout = os.environ.get("REPRO_JOB_TIMEOUT")
+        if timeout:
+            try:
+                seconds = float(timeout)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOB_TIMEOUT must be a number, got {timeout!r}"
+                ) from None
+            kwargs["job_timeout"] = seconds if seconds > 0 else None
+        return cls(**kwargs)
+
+
+def _backoff(policy: RetryPolicy, attempt: int) -> float:
+    return min(policy.backoff_cap,
+               policy.backoff_base * (2 ** max(0, attempt - 1)))
+
+
 def _worker_init() -> None:
     """Pool workers run their own jobs sequentially (no nested pools)."""
     os.environ["REPRO_JOBS"] = "1"
+    mark_worker_process()
 
 
 def _pool(workers: int) -> ProcessPoolExecutor:
@@ -70,7 +172,242 @@ def _run_job(job):
     return job.run()
 
 
-def _prewarm_traces(jobs) -> None:
+def _invoke(fn, arg, key: str, attempt: int, delay: float):
+    """One execution attempt, on whichever process runs it.
+
+    ``delay`` implements retry backoff *inside* the worker, so the
+    parent's scheduling loop never blocks on it.  The active fault
+    injector (env / override, inherited through fork) gets first shot.
+    """
+    if delay > 0:
+        time.sleep(delay)
+    injector = active_injector()
+    if injector is not None:
+        injector.on_job_attempt(key, attempt)
+    return fn(arg)
+
+
+class _Task:
+    """One schedulable unit: a SimJob or a ``parallel_map`` item."""
+
+    __slots__ = ("index", "fn", "arg", "key", "label", "attempts", "seq")
+
+    def __init__(self, index: int, fn, arg, key: str, label: str) -> None:
+        self.index = index
+        self.fn = fn
+        self.arg = arg
+        self.key = key        # fault-roll / fingerprint identity
+        self.label = label    # human identity for error messages
+        self.attempts = 0     # executions started in the current regime
+        self.seq = 0          # executions started ever (fault re-roll index)
+
+
+def _annotate(exc: BaseException, task: _Task) -> BaseException:
+    """Attach the job's identity to an escaping exception (once)."""
+    if not getattr(exc, "_repro_noted", False):
+        try:
+            exc.add_note(f"campaign job failed: {task.label} "
+                         f"(fingerprint {task.key[:16]})")
+            exc._repro_noted = True
+        except Exception:  # pragma: no cover - frozen/odd exception types
+            pass
+    return exc
+
+
+def _fail(task: _Task, exc: BaseException, kind: str,
+          failures: dict[int, BaseException],
+          report: CampaignReport) -> None:
+    failures[task.index] = _annotate(exc, task)
+    report.failures.append(JobFailure(
+        label=task.label, fingerprint=task.key, kind=kind, error=str(exc)))
+
+
+def _retry_or_fail(task: _Task, exc: BaseException, policy: RetryPolicy,
+                   failures: dict[int, BaseException],
+                   report: CampaignReport, resubmit) -> None:
+    """Retryable failure: resubmit within budget, else record exhaustion."""
+    if task.attempts >= policy.max_attempts:
+        _fail(task, RetryExhaustedError(task.label, task.key,
+                                        task.attempts, exc),
+              "retries-exhausted", failures, report)
+    else:
+        report.retries += 1
+        resubmit(task)
+
+
+def _run_tasks_sequential(tasks, policy: RetryPolicy,
+                          report: CampaignReport, record,
+                          failures: dict[int, BaseException],
+                          fresh_budget: bool = False) -> None:
+    """In-process execution with bounded retries (the jobs=1 path, and
+    the graceful-degradation target when pools keep dying)."""
+    for task in tasks:
+        if fresh_budget:
+            task.attempts = 0
+        while True:
+            task.attempts += 1
+            task.seq += 1
+            report.attempts += 1
+            try:
+                result = _invoke(task.fn, task.arg, task.key, task.seq, 0.0)
+            except InjectedFault as exc:
+                if task.attempts >= policy.max_attempts:
+                    _fail(task, RetryExhaustedError(task.label, task.key,
+                                                    task.attempts, exc),
+                          "retries-exhausted", failures, report)
+                    break
+                report.retries += 1
+                time.sleep(_backoff(policy, task.attempts))
+                continue
+            except BaseException as exc:
+                _fail(task, exc, "exception", failures, report)
+                break
+            else:
+                record(task, result)
+                break
+
+
+def _run_tasks_pooled(tasks, workers: int, policy: RetryPolicy,
+                      report: CampaignReport, record,
+                      failures: dict[int, BaseException]) -> None:
+    """Per-job future submission with timeouts, retries, resurrection.
+
+    Completed futures keep their results across a pool death; after
+    ``policy.max_pool_breaks`` deaths the remaining work degrades to
+    sequential in-process execution (fresh retry budget — a pool
+    casualty is evidence about the pool, not the job).
+    """
+    queue: deque[_Task] = deque(tasks)
+    breaks = 0
+    while queue:
+        if breaks >= policy.max_pool_breaks:
+            report.degradations += 1
+            _run_tasks_sequential(list(queue), policy, report, record,
+                                  failures, fresh_budget=True)
+            return
+        queue, broke = _one_pool_round(queue, workers, policy, report,
+                                       record, failures)
+        if broke:
+            breaks += 1
+            time.sleep(_backoff(policy, breaks))
+
+
+def _one_pool_round(queue: deque, workers: int, policy: RetryPolicy,
+                    report: CampaignReport, record,
+                    failures: dict[int, BaseException]):
+    """One pool lifetime; returns (requeue, broke).
+
+    Runs until the queue drains or the pool must be torn down: a worker
+    death (``BrokenProcessPool`` fails every pending future at once) or
+    a per-job timeout (a running future cannot be cancelled, so the
+    whole pool is abandoned; ``shutdown(wait=False)`` leaves the
+    stragglers to finish dying on their own).
+    """
+    requeue: deque[_Task] = deque()
+    pool = _pool(min(workers, len(queue)))
+    pending: dict = {}
+    broke = False
+
+    def submit(task: _Task, delay: float = 0.0) -> None:
+        nonlocal broke
+        task.attempts += 1
+        task.seq += 1
+        report.attempts += 1
+        deadline = (time.monotonic() + policy.job_timeout
+                    if policy.job_timeout else None)
+        try:
+            future = pool.submit(_invoke, task.fn, task.arg, task.key,
+                                 task.seq, delay)
+        except BrokenProcessPool:
+            # The pool died between completions; the task is innocent.
+            if not broke:
+                broke = True
+                report.pool_breaks += 1
+            requeue.append(task)
+            return
+        pending[future] = (task, deadline)
+
+    def resubmit(task: _Task) -> None:
+        if broke:
+            requeue.append(task)
+        else:
+            submit(task, delay=_backoff(policy, task.attempts))
+
+    try:
+        for task in queue:
+            submit(task)
+        while pending and not broke:
+            timeout = None
+            if policy.job_timeout:
+                deadlines = [d for (_t, d) in pending.values()
+                             if d is not None]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+            done, _ = wait(list(pending), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                task, _deadline = pending.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    # The casualty and every sibling retry on a fresh
+                    # pool; completed futures in `done` keep their
+                    # results below.  Counted once per pool lifetime.
+                    if not broke:
+                        broke = True
+                        report.pool_breaks += 1
+                    requeue.append(task)
+                except InjectedFault as exc:
+                    _retry_or_fail(task, exc, policy, failures, report,
+                                   resubmit)
+                except CancelledError:  # pragma: no cover - defensive
+                    requeue.append(task)
+                except BaseException as exc:
+                    _fail(task, exc, "exception", failures, report)
+                else:
+                    record(task, result)
+            if policy.job_timeout and not broke:
+                now = time.monotonic()
+                overdue = [f for f, (_t, d) in pending.items()
+                           if d is not None and d <= now]
+                if overdue:
+                    broke = True  # cannot cancel running futures
+                    for future in overdue:
+                        task, _deadline = pending.pop(future)
+                        report.timeouts += 1
+                        _retry_or_fail(task, TimeoutError(
+                            f"attempt exceeded {policy.job_timeout}s"),
+                            policy, failures, report, resubmit)
+        # Drain whatever the teardown left behind: futures that did
+        # finish keep their results; the rest go back on the queue
+        # (innocent casualties — no attempt penalty, but `seq` still
+        # advances on resubmission, so injected faults re-roll).
+        for future, (task, _deadline) in list(pending.items()):
+            if future.done() and not future.cancelled():
+                try:
+                    record(task, future.result())
+                    continue
+                except InjectedFault as exc:
+                    _retry_or_fail(task, exc, policy, failures, report,
+                                   lambda t: requeue.append(t))
+                    continue
+                except BrokenProcessPool:
+                    pass
+                except BaseException as exc:
+                    _fail(task, exc, "exception", failures, report)
+                    continue
+            requeue.append(task)
+    finally:
+        pool.shutdown(wait=not broke, cancel_futures=True)
+    return requeue, broke
+
+
+def _job_label(job) -> str:
+    workload = getattr(job.workload, "name", job.workload)
+    return f"{job.model} on {workload}"
+
+
+def _prewarm_traces(jobs) -> dict:
     """Generate each distinct trace once, in the parent, before forking.
 
     Chunking splits one workload's jobs across workers; without this,
@@ -78,21 +415,26 @@ def _prewarm_traces(jobs) -> None:
     kernel.  Warming the parent's trace cache first means fork hands
     every worker the already-built trace — trace generation stays
     exactly-once per (workload, instructions) across the whole campaign.
+
+    A workload whose trace generation *raises* must not abort the
+    campaign: its exception is returned (keyed by trace key) so the
+    engine fails only that workload's jobs and runs everything else.
     """
     from .cache import TRACE_CACHE
 
+    failed: dict = {}
     for key in {(job.workload, job.config.instructions) for job in jobs}:
-        TRACE_CACHE.get(*key)
-
-
-def _pool_map(fn, items: list, workers: int) -> list:
-    chunksize = max(1, len(items) // (workers * 4))
-    with _pool(workers) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        try:
+            TRACE_CACHE.get(*key)
+        except Exception as exc:
+            failed[key] = exc
+    return failed
 
 
 def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
-             store=None) -> list:
+             store=None, report: CampaignReport | None = None,
+             strict: bool = True,
+             policy: RetryPolicy | None = None) -> list:
     """Execute ``jobs`` (SimJobs); results in input order.
 
     Fingerprint-identical jobs execute once, whether the duplicate is in
@@ -105,13 +447,29 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
     environment (``REPRO_STORE`` / ``REPRO_CACHE_DIR``; off when
     ``memo=False``), ``False`` disables it, and an explicit
     :class:`~repro.exec.store.ResultStore` forces one (benchmarks pass
-    hermetic temp stores this way, with any ``memo`` setting).
+    hermetic temp stores this way, with any ``memo`` setting).  Each
+    computed result is flushed to the store the moment it completes, so
+    a killed campaign resumed in a fresh process replays only the cells
+    that had not yet finished.
+
+    ``report`` (a :class:`~repro.exec.report.CampaignReport`) collects
+    attempts/retries/timeouts/pool-breaks/degradations/store-errors;
+    ``policy`` overrides the env-resolved :class:`RetryPolicy`.
+
+    With ``strict=True`` (default) a permanently failed job re-raises
+    its exception — annotated with fingerprint and workload — *after*
+    all other jobs have completed and flushed.  ``strict=False``
+    instead records failures in the report and leaves ``None`` in the
+    failed slots, so one bad workload cannot abort a campaign.
     """
     from .store import resolve_store
 
     jobs = list(jobs)
     workers = workers if workers is not None else default_jobs()
+    policy = policy if policy is not None else RetryPolicy.from_env()
+    report = report if report is not None else CampaignReport()
     disk = None if (store is None and not memo) else resolve_store(store)
+    report.jobs += len(jobs)
     results: list = [None] * len(jobs)
     positions: dict[str, list[int]] = {}
     fresh: list = []
@@ -121,6 +479,7 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
             cached = RESULT_CACHE.get(key)
             if cached is not None:
                 results[i] = cached
+                report.memo_hits += 1
                 continue
         if key in positions:
             positions[key].append(i)
@@ -140,42 +499,99 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
                 if result is None:
                     missing.append(job)
                     continue
+                report.store_hits += 1
                 if memo:
                     RESULT_CACHE.put(key, result)
                 for i in positions[key]:
                     results[i] = result
             fresh = missing
-    if fresh:
-        if workers > 1 and len(fresh) > 1:
-            _prewarm_traces(fresh)
-            computed = _pool_map(_run_job, fresh, min(workers, len(fresh)))
-        else:
-            computed = [job.run() for job in fresh]
-        for job, result in zip(fresh, computed):
-            key = job.fingerprint
-            if memo:
-                RESULT_CACHE.put(key, result)
-            for i in positions[key]:
-                results[i] = result
+
+    failures: dict[int, BaseException] = {}
+    corrupt_before = disk.corrupt if disk is not None else 0
+    store_unwritable = False
+
+    def record(task: _Task, result) -> None:
+        # Incremental durability: the cell is memoized and flushed to
+        # disk the moment it completes — a crash after this point can
+        # never cost this simulation again.
+        nonlocal store_unwritable
+        key = task.key
+        report.computed += 1
+        if memo:
+            RESULT_CACHE.put(key, result)
+        if disk is not None and not store_unwritable:
+            if not disk.put_result(key, result):
+                store_unwritable = True  # read-only fs: stop trying
+                report.store_errors += 1
+        for i in positions[key]:
+            results[i] = result
+
+    try:
+        if fresh:
+            tasks = [_Task(index=i, fn=_run_job, arg=job,
+                           key=job.fingerprint, label=_job_label(job))
+                     for i, job in enumerate(fresh)]
+            if workers > 1 and len(fresh) > 1:
+                trace_failures = _prewarm_traces(fresh)
+                runnable = []
+                for task in tasks:
+                    trace_key = (task.arg.workload,
+                                 task.arg.config.instructions)
+                    if trace_key in trace_failures:
+                        _fail(task, trace_failures[trace_key], "trace",
+                              failures, report)
+                    else:
+                        runnable.append(task)
+                if runnable:
+                    _run_tasks_pooled(runnable,
+                                      min(workers, len(runnable)),
+                                      policy, report, record, failures)
+            else:
+                _run_tasks_sequential(tasks, policy, report, record,
+                                      failures)
+            if failures and strict:
+                raise failures[min(failures)]
+    finally:
         if disk is not None:
-            # Batched flush: newly computed cells become durable for the
-            # next process in one pass.
-            disk.put_results((job.fingerprint, result)
-                             for job, result in zip(fresh, computed))
-    if disk is not None:
-        disk.flush_counters()
+            report.store_errors += disk.corrupt - corrupt_before
+            disk.flush_counters()
     return results
 
 
-def parallel_map(fn, items, *, workers: int | None = None) -> list:
+def parallel_map(fn, items, *, workers: int | None = None,
+                 report: CampaignReport | None = None,
+                 policy: RetryPolicy | None = None) -> list:
     """Ordered ``map(fn, items)``, pooled when workers > 1.
 
     For campaign pieces that are not plain SimJobs (the Figure 1
     scenario micro-programs, for instance).  ``fn`` must be a
-    module-level callable and ``items`` picklable; there is no memo.
+    module-level callable and ``items`` picklable; there is no memo,
+    but the fault-tolerant scheduler (retries, pool resurrection,
+    sequential degradation) is the same one ``run_jobs`` uses — ``fn``
+    must therefore be deterministic, which every campaign piece already
+    guarantees.
     """
     items = list(items)
     workers = workers if workers is not None else default_jobs()
+    policy = policy if policy is not None else RetryPolicy.from_env()
+    report = report if report is not None else CampaignReport()
+    report.jobs += len(items)
+    name = getattr(fn, "__name__", "fn")
+    tasks = [_Task(index=i, fn=fn, arg=item, key=f"{name}:{i}",
+                   label=f"{name}[{i}]")
+             for i, item in enumerate(items)]
+    results: dict[int, object] = {}
+    failures: dict[int, BaseException] = {}
+
+    def record(task: _Task, result) -> None:
+        report.computed += 1
+        results[task.index] = result
+
     if workers > 1 and len(items) > 1:
-        return _pool_map(fn, items, min(workers, len(items)))
-    return [fn(item) for item in items]
+        _run_tasks_pooled(tasks, min(workers, len(items)), policy,
+                          report, record, failures)
+    else:
+        _run_tasks_sequential(tasks, policy, report, record, failures)
+    if failures:
+        raise failures[min(failures)]
+    return [results[i] for i in range(len(items))]

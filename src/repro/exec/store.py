@@ -37,7 +37,16 @@ Writes go to a same-directory temp file followed by :func:`os.replace`,
 so pooled workers and concurrent CLI runs can share one store — readers
 see either the old record, the new record, or (before first write)
 nothing, never a torn file.  Unreadable or truncated records count as
-``corrupt``, are discarded, and fall back to recomputation.
+``corrupt``, are *quarantined* into ``<root>/quarantine/`` (for
+post-mortem inspection — ``repro cache quarantine`` lists and clears
+them), and fall back to recomputation; the recomputed record then
+rewrites the original path.
+
+Chaos testing: when a fault plan is active (:mod:`repro.exec.faults`,
+``REPRO_FAULTS``), record writes may be deterministically truncated or
+corrupted before the atomic rename — simulating torn writes the rename
+discipline cannot prevent — so the corrupt→quarantine→recompute path
+stays continuously exercised.
 
 Sections
 --------
@@ -64,6 +73,7 @@ from dataclasses import fields as dataclass_fields
 
 from ..engine.result import SimResult
 from ..pipeline.stats import CoreStats, MLPMeter, PhaseStats, StallBreakdown
+from .faults import active_injector
 from .fingerprint import fingerprint
 
 #: Record-layout version: bump when the serialised form changes.
@@ -239,11 +249,15 @@ class ResultStore:
         self.misses = 0
         self.corrupt = 0
         self.writes = 0
+        self.quarantined = 0
         self._flushed = {"hits": 0, "misses": 0, "corrupt": 0, "writes": 0}
 
     # -- paths ----------------------------------------------------------
     def _record_path(self, section: str, fp: str) -> str:
         return os.path.join(self.version_dir, section, fp[:2], fp + ".json")
+
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
 
     # -- generic JSON records ------------------------------------------
     def get_json(self, section: str, fp: str):
@@ -261,10 +275,11 @@ class ResultStore:
             self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Truncated write, damaged file, or wrong shape: discard so
-            # the recomputed record can take its place.
+            # Truncated write, damaged file, or wrong shape: quarantine
+            # it (evidence, not mystery) so the recomputed record can
+            # take its place.
             self.corrupt += 1
-            self._discard(path)
+            self._quarantine(path)
             return None
         self.hits += 1
         return payload
@@ -280,14 +295,26 @@ class ResultStore:
         return True
 
     def _atomic_write_json(self, path: str, obj) -> bool:
-        """Same-directory tmp file + rename; False on any OSError."""
+        """Same-directory tmp file + rename; False on any OSError.
+
+        An active fault plan may deterministically mangle the record's
+        bytes first (``store_truncate`` / ``store_corrupt``) — the torn
+        write lands atomically, exactly like a crash mid-flush on a
+        filesystem without rename atomicity would leave it.
+        """
+        data = json.dumps(obj, separators=(",", ":"))
+        injector = active_injector()
+        if injector is not None:
+            mangled = injector.mangle_record(data, path)
+            if mangled is not None:
+                data = mangled
         directory = os.path.dirname(path)
         try:
             os.makedirs(directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(obj, handle, separators=(",", ":"))
+                    handle.write(data)
                 os.replace(tmp, path)
             except BaseException:
                 self._discard(tmp)
@@ -297,11 +324,64 @@ class ResultStore:
         return True
 
     def _corrupt_record(self, section: str, fp: str, *, was_hit: bool) -> None:
-        """Count and discard a damaged record so a rewrite can land."""
+        """Count and quarantine a damaged record so a rewrite can land."""
         if was_hit:
             self.hits -= 1
         self.corrupt += 1
-        self._discard(self._record_path(section, fp))
+        self._quarantine(self._record_path(section, fp))
+
+    def _quarantine(self, path: str) -> None:
+        """Move a damaged record into ``quarantine/`` for post-mortem.
+
+        The quarantined name flattens ``section/shard/record.json`` to
+        ``section__shard__record.json`` so one flat directory holds any
+        mix; a repeat offender overwrites its previous capture.  If the
+        move itself fails (read-only store), fall back to deletion so a
+        recomputed record can still land.
+        """
+        try:
+            rel = os.path.relpath(path, self.version_dir)
+            name = rel.replace(os.sep, "__")
+            qdir = self.quarantine_dir()
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, name))
+            self.quarantined += 1
+        except OSError:
+            self._discard(path)
+
+    def quarantine_entries(self) -> list[dict]:
+        """Quarantined records, newest first: name, bytes, mtime."""
+        entries = []
+        qdir = self.quarantine_dir()
+        try:
+            names = os.listdir(qdir)
+        except OSError:
+            return []
+        for name in names:
+            path = os.path.join(qdir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append({"name": name, "bytes": stat.st_size,
+                            "mtime": stat.st_mtime})
+        entries.sort(key=lambda e: e["mtime"], reverse=True)
+        return entries
+
+    def clear_quarantine(self) -> int:
+        """Delete every quarantined record; returns the removed count."""
+        removed = 0
+        for entry in self.quarantine_entries():
+            try:
+                os.unlink(os.path.join(self.quarantine_dir(), entry["name"]))
+                removed += 1
+            except OSError:
+                continue
+        try:
+            os.rmdir(self.quarantine_dir())
+        except OSError:
+            pass
+        return removed
 
     @staticmethod
     def _discard(path: str) -> None:
@@ -423,7 +503,7 @@ class ResultStore:
                     yield vname, ename, edir
 
     def stats(self) -> dict:
-        """Entries and bytes per section, plus stale-version totals."""
+        """Entries and bytes per section, plus stale/quarantine totals."""
         sections = {name: {"entries": 0, "bytes": 0} for name in _SECTIONS}
         stale = {"entries": 0, "bytes": 0}
         for vname, ename, edir in self._version_dirs():
@@ -437,7 +517,11 @@ class ResultStore:
                 bucket = sections[section] if current else stale
                 bucket["entries"] += 1
                 bucket["bytes"] += size
+        quarantined = self.quarantine_entries()
+        quarantine = {"entries": len(quarantined),
+                      "bytes": sum(e["bytes"] for e in quarantined)}
         return {
+            "quarantine": quarantine,
             "root": os.path.abspath(self.root),
             "schema": self.schema,
             "engine": self.engine_version,
@@ -451,11 +535,12 @@ class ResultStore:
     def clear(self) -> int:
         """Delete every record (all schemas/engines); removed file count.
 
-        Only store-owned entries (``v*`` version trees and the counters
-        sidecar) are touched, so a mis-pointed ``REPRO_CACHE_DIR`` can
-        not take unrelated files with it.
+        Only store-owned entries (``v*`` version trees, the quarantine
+        directory, and the counters sidecar) are touched, so a
+        mis-pointed ``REPRO_CACHE_DIR`` can not take unrelated files
+        with it.
         """
-        removed = 0
+        removed = self.clear_quarantine()
         for _vname, _ename, edir in list(self._version_dirs()):
             removed += sum(1 for _ in self._iter_record_paths(edir))
         for vname in list(os.listdir(self.root)) if os.path.isdir(self.root) else []:

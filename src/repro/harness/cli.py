@@ -23,7 +23,16 @@ Campaigns are incremental by default: results persist in the on-disk
 store (``REPRO_CACHE_DIR``, default ``.repro-cache/``), so re-running a
 figure in a fresh process simulates only cells it has never seen.
 ``--no-store`` (or ``REPRO_STORE=0``) opts a run out; ``repro cache``
-inspects and maintains the store.
+inspects and maintains the store (``repro cache quarantine`` lists the
+corrupt records the store has isolated).
+
+Campaigns are also fault-tolerant: jobs retry after worker deaths and
+injected failures (``--retries``), slow cells can be reaped by a
+per-job timeout (``--timeout``), and ``--faults`` turns on the
+deterministic chaos harness (e.g. ``--faults seed=7,worker_death=0.1``)
+to prove it.  Any incident — a retry, a pool resurrection, a quarantined
+record, a permanently failed job — is summarised on stderr after the
+campaign.
 
 Workload references (``-w``) accept, in any mix: named-suite kernels
 (``mcf_like``), generated-suite spec files written by ``repro wgen
@@ -74,16 +83,55 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help="use the on-disk result store under "
                              "REPRO_CACHE_DIR (default: REPRO_STORE, on)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="extra attempts per job after a retryable "
+                             "failure (default: REPRO_RETRIES, 3)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-job wall-clock timeout in pooled runs "
+                             "(default: REPRO_JOB_TIMEOUT, off)")
+    parser.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                        help="chaos harness: inject deterministic faults, "
+                             "e.g. 'seed=7,worker_death=0.1' "
+                             "(default: REPRO_FAULTS, off)")
 
 
 def _apply_jobs(args) -> None:
-    # Threads the worker count and store toggle through every campaign
-    # this process runs — the engine reads REPRO_JOBS / REPRO_STORE
-    # wherever jobs= / store= isn't passed explicitly.
+    # Threads the worker count, store toggle, and fault-tolerance knobs
+    # through every campaign this process runs — the engine reads
+    # REPRO_JOBS / REPRO_STORE / REPRO_RETRIES / REPRO_JOB_TIMEOUT /
+    # REPRO_FAULTS wherever the corresponding argument isn't passed
+    # explicitly.
     if getattr(args, "jobs", None) is not None:
         os.environ["REPRO_JOBS"] = str(max(1, args.jobs))
     if getattr(args, "store", None) is not None:
         os.environ["REPRO_STORE"] = "1" if args.store else "0"
+    if getattr(args, "retries", None) is not None:
+        os.environ["REPRO_RETRIES"] = str(max(0, args.retries))
+    if getattr(args, "timeout", None) is not None:
+        os.environ["REPRO_JOB_TIMEOUT"] = str(args.timeout)
+    if getattr(args, "faults", None) is not None:
+        from ..exec import FaultPlan
+
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
+        os.environ["REPRO_FAULTS"] = args.faults
+
+
+def _report():
+    from ..exec import CampaignReport
+
+    return CampaignReport()
+
+
+def _emit_report(report) -> None:
+    # Campaign health goes to stderr (stdout stays parseable); a boring
+    # campaign with zero incidents prints nothing.
+    if report.incidents():
+        print(report.summary(), file=sys.stderr)
+        for failure in report.failures:
+            print(f"  failed: {failure}", file=sys.stderr)
 
 
 def _config(args) -> ExperimentConfig:
@@ -126,12 +174,18 @@ def cmd_characterize(args) -> None:
 
 
 def cmd_figure5(args) -> None:
-    print(format_figure5(figure5(_config(args), workloads=_workloads(args))))
+    report = _report()
+    print(format_figure5(figure5(_config(args), workloads=_workloads(args),
+                                 report=report)))
+    _emit_report(report)
 
 
 def cmd_figure6(args) -> None:
     workloads = _workloads(args) or ["equake_like"]
-    print(format_figure6(figure6(workloads=workloads, config=_config(args))))
+    report = _report()
+    print(format_figure6(figure6(workloads=workloads, config=_config(args),
+                                 report=report)))
+    _emit_report(report)
 
 
 def cmd_figure7(args) -> None:
@@ -139,7 +193,9 @@ def cmd_figure7(args) -> None:
     workloads = _workloads(args)
     if workloads:
         kwargs["workloads"] = tuple(workloads)
-    print(format_figure7(figure7(_config(args), **kwargs)))
+    report = _report()
+    print(format_figure7(figure7(_config(args), report=report, **kwargs)))
+    _emit_report(report)
 
 
 def cmd_figure8(args) -> None:
@@ -147,11 +203,16 @@ def cmd_figure8(args) -> None:
     workloads = _workloads(args)
     if workloads:
         kwargs["workloads"] = tuple(workloads)
-    print(format_figure8(figure8(_config(args), **kwargs)))
+    report = _report()
+    print(format_figure8(figure8(_config(args), report=report, **kwargs)))
+    _emit_report(report)
 
 
 def cmd_table2(args) -> None:
-    print(format_table2(table2(_config(args), workloads=_workloads(args))))
+    report = _report()
+    print(format_table2(table2(_config(args), workloads=_workloads(args),
+                               report=report)))
+    _emit_report(report)
 
 
 def cmd_scenarios(args) -> None:
@@ -196,6 +257,25 @@ def cmd_cache(args) -> None:
                   f"{lookups} lookups ({rate:.1f}%), "
                   f"{lifetime.get('writes', 0)} writes, "
                   f"{lifetime.get('corrupt', 0)} corrupt")
+        quarantine = info["quarantine"]
+        if quarantine["entries"]:
+            print(f"  quarantine: {quarantine['entries']} corrupt records, "
+                  f"{quarantine['bytes'] / 1024:.1f} KiB  "
+                  "(`repro cache quarantine` inspects these)")
+    elif args.action == "quarantine":
+        if args.clear:
+            removed = store.clear_quarantine()
+            print(f"cleared {removed} quarantined records from "
+                  f"{store.quarantine_dir()}")
+            return
+        entries = store.quarantine_entries()
+        if not entries:
+            print(f"quarantine empty ({store.quarantine_dir()})")
+            return
+        print(f"Quarantined corrupt records in {store.quarantine_dir()} "
+              "(newest first; `--clear` deletes them):")
+        for entry in entries:
+            print(f"  {entry['name']}  {entry['bytes']} bytes")
     elif args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} entries from {os.path.abspath(store.root)}")
@@ -277,18 +357,24 @@ def cmd_phases(args) -> None:
             "report one whole-program bucket)"
         )
     models = MODELS if args.model == "all" else (args.model,)
-    results = run_suite(models, workloads, config)
+    report = _report()
+    results = run_suite(models, workloads, config, report=report)
     print(format_phase_table(results))
+    _emit_report(report)
 
 
 def cmd_sweep(args) -> None:
     workloads = _workloads(args)
+    report = _report()
     if args.parameter == "chain-table":
-        result = chain_table_sweep(workloads=workloads, config=_config(args))
+        result = chain_table_sweep(workloads=workloads, config=_config(args),
+                                   report=report)
         print(format_sweep(result, reference=512))
     else:
-        result = poison_bits_sweep(workloads=workloads, config=_config(args))
+        result = poison_bits_sweep(workloads=workloads, config=_config(args),
+                                   report=report)
         print(format_sweep(result, reference=1))
+    _emit_report(report)
 
 
 def cmd_run(args) -> None:
@@ -309,7 +395,10 @@ def cmd_run(args) -> None:
             f"`repro run` takes exactly one workload; {args.kernel!r} "
             f"resolved to {len(resolved)}"
         )
-    runs = run_workload(resolved[0], models=models, config=config)
+    report = _report()
+    runs = run_workload(resolved[0], models=models, config=config,
+                        report=report)
+    _emit_report(report)
     baseline = runs.get("in-order")
     for model, result in runs.items():
         line = (f"{model:12s} {result.cycles:>10d} cycles  "
@@ -386,10 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_wgen)
 
     p = sub.add_parser("cache", help="inspect / maintain the disk store")
-    p.add_argument("action", choices=("stats", "clear", "gc"))
+    p.add_argument("action", choices=("stats", "clear", "gc", "quarantine"))
     p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
                    help="gc: delete records older than DAYS days "
                         "(stale-version records always go)")
+    p.add_argument("--clear", action="store_true",
+                   help="quarantine: delete the quarantined records")
     p.set_defaults(fn=cmd_cache)
     return parser
 

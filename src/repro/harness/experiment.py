@@ -111,16 +111,19 @@ def suite_jobs(models=MODELS, workloads=None,
 
 def run_workload(workload, models=MODELS,
                  config: ExperimentConfig | None = None,
-                 jobs: int | None = None, store=None) -> dict[str, SimResult]:
+                 jobs: int | None = None, store=None,
+                 report=None) -> dict[str, SimResult]:
     """Run several models over one workload (one shared, cached trace)."""
-    results = run_suite(models, (workload,), config, jobs=jobs, store=store)
+    results = run_suite(models, (workload,), config, jobs=jobs, store=store,
+                        report=report)
     return results[workload_name(workload)]
 
 
 def run_suite(models=MODELS, workloads=None,
               config: ExperimentConfig | None = None,
               jobs: int | None = None,
-              store=None) -> dict[str, dict[str, SimResult]]:
+              store=None, report=None,
+              strict: bool = True) -> dict[str, dict[str, SimResult]]:
     """Run ``models`` x ``workloads``; returns results[workload][model].
 
     ``workloads`` mixes named-suite kernels and generated
@@ -133,12 +136,25 @@ def run_suite(models=MODELS, workloads=None,
     :class:`~repro.exec.ResultStore`), the rest fan out over ``jobs``
     worker processes (default ``REPRO_JOBS``, then ``os.cpu_count()``;
     1 = sequential in-process).
+
+    ``report`` (a :class:`~repro.exec.CampaignReport`) accumulates
+    execution-health counters; ``strict=False`` keeps going past
+    permanently failed jobs — a workload missing *any* model's result
+    is dropped from the table (its failures stay in the report), so
+    every surviving row is complete and comparable.
     """
     specs = suite_jobs(models, workloads, config)
-    results = run_jobs(specs, workers=jobs, store=store)
+    results = run_jobs(specs, workers=jobs, store=store,
+                       report=report, strict=strict)
     table: dict[str, dict[str, SimResult]] = {}
     for spec, result in zip(specs, results):
-        table.setdefault(workload_name(spec.workload), {})[spec.model] = result
+        if result is not None:
+            table.setdefault(
+                workload_name(spec.workload), {})[spec.model] = result
+    if not strict:
+        wanted = set(models)
+        table = {w: runs for w, runs in table.items()
+                 if wanted.issubset(runs)}
     return table
 
 

@@ -43,11 +43,20 @@ class Figure5:
 
 
 def figure5(config: ExperimentConfig | None = None,
-            workloads=None, store=None) -> Figure5:
+            workloads=None, store=None, report=None,
+            strict: bool = True) -> Figure5:
+    """Build Figure 5; ``strict=False`` plots whatever survived.
+
+    With ``strict=False`` a workload whose jobs permanently failed
+    (e.g. its trace generator raised) is dropped from the figure and
+    its failures land in ``report``; the remaining rows are complete.
+    """
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
-    names = [workload_name(w) for w in workloads]
-    results = run_suite(MODELS, workloads, config, store=store)
+    results = run_suite(MODELS, workloads, config, store=store,
+                        report=report, strict=strict)
+    names = [n for n in (workload_name(w) for w in workloads)
+             if n in results]
     schemes = [m for m in MODELS if m != "in-order"]
     percent, geomeans = {}, {}
     for model in schemes:
@@ -105,7 +114,8 @@ FIGURE6_CONFIGS = (
 
 
 def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
-            config: ExperimentConfig | None = None, store=None) -> Figure6:
+            config: ExperimentConfig | None = None, store=None,
+            report=None) -> Figure6:
     """Sweep the L2 hit latency across the Figure 6 configurations.
 
     Following the paper, speedups at every latency are measured against
@@ -136,7 +146,7 @@ def figure6(latencies=(10, 20, 30, 40, 50), workloads=None,
             for w in workloads:
                 grid.append(SimJob(model, w, cfg))
                 cells.append((label, latency, model))
-    results = run_jobs(grid, store=store)
+    results = run_jobs(grid, store=store, report=report)
 
     ref_cycles: dict[str, int] = {}
     cycles: dict[tuple[str, int], dict[str, int]] = {}
@@ -205,7 +215,8 @@ class Figure7:
 
 
 def figure7(config: ExperimentConfig | None = None,
-            workloads=FIGURE7_WORKLOADS, store=None) -> Figure7:
+            workloads=FIGURE7_WORKLOADS, store=None,
+            report=None) -> Figure7:
     base = config if config is not None else ExperimentConfig()
     names = [workload_name(w) for w in workloads]
 
@@ -214,7 +225,7 @@ def figure7(config: ExperimentConfig | None = None,
     for _, model, overrides in FIGURE7_BARS:
         cfg = dataclasses.replace(base, **overrides)
         grid.extend(SimJob(model, w, cfg) for w in workloads)
-    results = iter(run_jobs(grid, store=store))
+    results = iter(run_jobs(grid, store=store, report=report))
 
     io_cycles = {w: next(results).cycles for w in names}
     percent: dict[str, dict[str, float]] = {}
@@ -259,7 +270,8 @@ class Figure8:
 
 
 def figure8(config: ExperimentConfig | None = None,
-            workloads=FIGURE8_WORKLOADS, store=None) -> Figure8:
+            workloads=FIGURE8_WORKLOADS, store=None,
+            report=None) -> Figure8:
     base = config if config is not None else ExperimentConfig()
     names = [workload_name(w) for w in workloads]
 
@@ -268,7 +280,7 @@ def figure8(config: ExperimentConfig | None = None,
         feats = ICFPFeatures(store_buffer_kind=kind)
         cfg = dataclasses.replace(base, icfp_features=feats)
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
-    results = iter(run_jobs(grid, store=store))
+    results = iter(run_jobs(grid, store=store, report=report))
 
     io_cycles = {w: next(results).cycles for w in names}
     percent: dict[str, dict[str, float]] = {}

@@ -41,7 +41,7 @@ class SweepResult:
 
 
 def _sweep(parameter: str, values, feature_of, workloads, config,
-           store=None) -> SweepResult:
+           store=None, report=None) -> SweepResult:
     """One batched campaign over the whole sweep.
 
     The in-order baseline appears *once* per workload in the job grid —
@@ -59,7 +59,7 @@ def _sweep(parameter: str, values, feature_of, workloads, config,
     for value in values:
         cfg = dataclasses.replace(base, icfp_features=feature_of(value))
         grid.extend(SimJob("icfp", w, cfg) for w in workloads)
-    results = iter(run_jobs(grid, store=store))
+    results = iter(run_jobs(grid, store=store, report=report))
     io_cycles = {w: next(results).cycles for w in names}
     ratios: dict[object, dict[str, float]] = {}
     phases: dict[object, dict[str, list[dict]]] = {}
@@ -72,21 +72,21 @@ def _sweep(parameter: str, values, feature_of, workloads, config,
 
 def chain_table_sweep(sizes=(64, 128, 512), workloads=None,
                       config: ExperimentConfig | None = None,
-                      store=None) -> SweepResult:
+                      store=None, report=None) -> SweepResult:
     return _sweep(
         "chain_table_size", sizes,
         lambda size: ICFPFeatures(chain_table_size=size),
-        workloads, config, store=store,
+        workloads, config, store=store, report=report,
     )
 
 
 def poison_bits_sweep(widths=(1, 2, 4, 8), workloads=None,
                       config: ExperimentConfig | None = None,
-                      store=None) -> SweepResult:
+                      store=None, report=None) -> SweepResult:
     return _sweep(
         "poison_bits", widths,
         lambda width: ICFPFeatures(poison_bits=width),
-        workloads, config, store=store,
+        workloads, config, store=store, report=report,
     )
 
 

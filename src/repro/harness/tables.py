@@ -22,7 +22,7 @@ class Table2Row:
 
 
 def table2(config: ExperimentConfig | None = None,
-           workloads=None, store=None) -> list[Table2Row]:
+           workloads=None, store=None, report=None) -> list[Table2Row]:
     """Reproduce Table 2: Miss/KI, MLP for in-order/Runahead/iCFP, and
     iCFP rally overhead.
 
@@ -33,7 +33,7 @@ def table2(config: ExperimentConfig | None = None,
     config = config if config is not None else ExperimentConfig()
     workloads = workloads if workloads is not None else selected_workloads()
     models = ("in-order", "runahead", "icfp")
-    results = run_suite(models, workloads, config, store=store)
+    results = run_suite(models, workloads, config, store=store, report=report)
     rows = []
     for workload in workloads:
         name = workload_name(workload)

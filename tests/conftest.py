@@ -13,6 +13,14 @@ import pytest
 
 @pytest.fixture(autouse=True)
 def hermetic_result_store(tmp_path, monkeypatch):
-    """Point REPRO_CACHE_DIR at a per-test tmpdir; neutralise REPRO_STORE."""
+    """Point REPRO_CACHE_DIR at a per-test tmpdir; neutralise REPRO_STORE.
+
+    Fault-tolerance knobs are likewise neutralised: a developer running
+    the suite under ``REPRO_FAULTS`` (or retry/timeout overrides) must
+    not change test outcomes — chaos is opt-in per test.
+    """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_RETRIES", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)

@@ -1,0 +1,229 @@
+"""The engine's failure matrix: every fault the scheduler must absorb.
+
+The contract under test (the chaos harness's whole point): any injected
+fault that is eventually retried to success leaves campaign results
+byte-identical to a fault-free run.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.exec import (
+    CampaignReport,
+    FaultPlan,
+    RESULT_CACHE,
+    ResultStore,
+    RetryExhaustedError,
+    RetryPolicy,
+    SimJob,
+    injected_faults,
+    run_jobs,
+)
+from repro.exec.store import result_to_payload
+from repro.harness.experiment import ExperimentConfig
+
+WORKLOADS = ("mesa_like", "gzip_like", "crafty_like")
+MODELS = ("in-order", "icfp", "runahead")
+
+
+def _jobs(instructions=300):
+    cfg = ExperimentConfig(instructions=instructions)
+    return [SimJob(m, w, cfg) for w in WORKLOADS for m in MODELS]
+
+
+def _payloads(results):
+    return [json.dumps(result_to_payload(r), sort_keys=True)
+            for r in results]
+
+
+def _clean(jobs):
+    return run_jobs(jobs, workers=1, memo=False, store=False)
+
+
+def test_injected_exception_retries_to_identical_results():
+    jobs = _jobs()
+    clean = _clean(jobs)
+    report = CampaignReport()
+    with injected_faults(FaultPlan(seed=1, job_exception=0.3)) as injector:
+        faulty = run_jobs(jobs, workers=1, memo=False, store=False,
+                          report=report)
+    assert injector.counts["job_exception"] >= 1
+    assert report.retries == injector.counts["job_exception"]
+    assert report.attempts == len(jobs) + report.retries
+    assert _payloads(faulty) == _payloads(clean)
+    assert report.ok() and report.incidents() == report.retries
+
+
+def test_retry_exhaustion_names_the_job():
+    jobs = _jobs()[:1]
+    fingerprint = jobs[0].fingerprint
+    with injected_faults(FaultPlan(job_exception=1.0)):
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_jobs(jobs, workers=1, memo=False, store=False,
+                     policy=RetryPolicy(max_attempts=3, backoff_base=0.0))
+    message = str(excinfo.value)
+    assert "in-order on mesa_like" in message
+    assert fingerprint[:16] in message
+    assert "failed 3 attempts" in message
+    assert isinstance(excinfo.value.__cause__, Exception)
+
+
+def test_strict_false_records_failures_and_keeps_going():
+    jobs = _jobs()
+    report = CampaignReport()
+    # only this one fingerprint always faults: rate 1.0 keyed per-job is
+    # not expressible, so fault everything and retry-exhaust the lot
+    with injected_faults(FaultPlan(job_exception=1.0)):
+        results = run_jobs(jobs, workers=1, memo=False, store=False,
+                           report=report, strict=False,
+                           policy=RetryPolicy(max_attempts=2,
+                                              backoff_base=0.0))
+    assert results == [None] * len(jobs)
+    assert len(report.failures) == len(jobs)
+    assert all(f.kind == "retries-exhausted" for f in report.failures)
+    assert not report.ok()
+
+
+def test_genuine_exception_is_not_retried_and_carries_identity():
+    cfg = ExperimentConfig(instructions=300)
+    jobs = [SimJob("in-order", "doom_like", cfg)]
+    report = CampaignReport()
+    with pytest.raises(KeyError) as excinfo:
+        run_jobs(jobs, workers=1, memo=False, store=False, report=report)
+    assert report.retries == 0 and report.attempts == 1
+    notes = getattr(excinfo.value, "__notes__", [])
+    assert any("doom_like" in note and jobs[0].fingerprint[:16] in note
+               for note in notes)
+
+
+def test_failing_job_does_not_discard_siblings(tmp_path):
+    cfg = ExperimentConfig(instructions=302)
+    doomed = SimJob("in-order", "doom_like", cfg)
+    good = SimJob("in-order", "mesa_like", cfg)
+    store = ResultStore(str(tmp_path / "store"))
+    with pytest.raises(KeyError):
+        run_jobs([doomed, good], workers=1, memo=False, store=store)
+    # the sibling computed after the failure was flushed anyway
+    assert store.get_result(good.fingerprint) is not None
+    # and the session counters reached counters.json (try/finally)
+    assert store.read_counters().get("writes", 0) >= 1
+
+
+@pytest.mark.slow
+def test_pool_death_recovery_is_byte_identical():
+    jobs = _jobs()
+    clean = _clean(jobs)
+    report = CampaignReport()
+    plan = FaultPlan(seed=5, worker_death=0.3)
+    assert any(plan.would_fail("worker_death", j.fingerprint) for j in jobs)
+    with injected_faults(plan):
+        faulty = run_jobs(jobs, workers=2, memo=False, store=False,
+                          report=report)
+    assert report.pool_breaks >= 1
+    assert _payloads(faulty) == _payloads(clean)
+    assert report.ok()
+
+
+@pytest.mark.slow
+def test_total_pool_loss_degrades_to_sequential():
+    jobs = _jobs()
+    clean = _clean(jobs)
+    report = CampaignReport()
+    policy = RetryPolicy(max_pool_breaks=2, backoff_base=0.0)
+    with injected_faults(FaultPlan(worker_death=1.0)):
+        results = run_jobs(jobs, workers=2, memo=False, store=False,
+                           report=report, policy=policy)
+    assert report.pool_breaks == 2
+    assert report.degradations == 1
+    # in-process execution has no worker to kill: the campaign finishes
+    assert _payloads(results) == _payloads(clean)
+
+
+@pytest.mark.slow
+def test_timeout_reaps_slow_jobs_then_retries_to_success():
+    jobs = _jobs()
+    clean = _clean(jobs)
+    report = CampaignReport()
+    policy = RetryPolicy(job_timeout=0.25, max_attempts=6, backoff_base=0.0)
+    with injected_faults(FaultPlan(seed=11, slow=0.4, slow_seconds=1.0)):
+        results = run_jobs(jobs, workers=2, memo=False, store=False,
+                           report=report, policy=policy)
+    assert report.timeouts >= 1
+    assert _payloads(results) == _payloads(clean)
+    assert report.ok()
+
+
+def test_prewarm_failure_is_isolated_to_its_workload():
+    cfg = ExperimentConfig(instructions=304)
+    jobs = [SimJob(m, w, cfg)
+            for w in ("mesa_like", "doom_like", "gzip_like")
+            for m in ("in-order", "icfp")]
+    report = CampaignReport()
+    results = run_jobs(jobs, workers=2, memo=False, store=False,
+                       report=report, strict=False)
+    by_workload = {}
+    for job, result in zip(jobs, results):
+        by_workload.setdefault(job.workload, []).append(result)
+    assert all(r is not None for r in by_workload["mesa_like"])
+    assert all(r is not None for r in by_workload["gzip_like"])
+    assert by_workload["doom_like"] == [None, None]
+    assert len(report.failures) == 2
+    assert all(f.kind == "trace" for f in report.failures)
+
+
+def _acceptance_plan(jobs):
+    """A seed where >=10% of first attempts die AND >=1 write truncates.
+
+    Searched deterministically so the test tracks fingerprint changes
+    instead of hardcoding a seed that silently stops injecting.
+    """
+    need_deaths = max(1, math.ceil(0.1 * len(jobs)))
+    for seed in range(200):
+        plan = FaultPlan(seed=seed, worker_death=0.3, store_truncate=0.25)
+        deaths = sum(plan.would_fail("worker_death", j.fingerprint)
+                     for j in jobs)
+        truncs = sum(plan.roll("store_truncate", j.fingerprint + ".json", 0)
+                     for j in jobs)
+        if deaths >= need_deaths and truncs >= 1:
+            return plan
+    raise AssertionError("no qualifying seed in range — widen the search")
+
+
+@pytest.mark.slow
+def test_acceptance_chaos_campaign_is_byte_identical_and_store_heals(
+        tmp_path):
+    jobs = _jobs(instructions=307)
+    clean_store = ResultStore(str(tmp_path / "clean"))
+    clean = run_jobs(jobs, workers=1, memo=False, store=clean_store)
+
+    plan = _acceptance_plan(jobs)
+    chaos_store = ResultStore(str(tmp_path / "chaos"))
+    report = CampaignReport()
+    with injected_faults(plan) as injector:
+        faulty = run_jobs(jobs, workers=2, memo=False, store=chaos_store,
+                          report=report)
+    # the plan really injected: >=10% worker deaths on first attempts,
+    # and at least one record write was torn (parent-side, so counted)
+    assert report.pool_breaks >= 1
+    assert injector.counts["store_truncate"] >= 1
+    assert _payloads(faulty) == _payloads(clean)
+
+    # the torn record reads as corrupt, is quarantined, and a re-run
+    # recomputes exactly the damaged cells — byte-identical again
+    resumed_report = CampaignReport()
+    resumed = run_jobs(jobs, workers=1, memo=False, store=chaos_store,
+                       report=resumed_report)
+    assert chaos_store.corrupt >= 1
+    assert chaos_store.quarantined >= 1
+    assert resumed_report.store_hits + resumed_report.computed == len(jobs)
+    assert resumed_report.computed >= 1
+    assert _payloads(resumed) == _payloads(clean)
+
+    # healed: with chaos off, every record now round-trips from disk
+    final = run_jobs(jobs, workers=1, memo=False, store=chaos_store,
+                     report=(final_report := CampaignReport()))
+    assert final_report.store_hits == len(jobs)
+    assert final_report.computed == 0
+    assert _payloads(final) == _payloads(clean)
