@@ -21,7 +21,7 @@ SMOKE_MARKERS ?= not slow
 # seed — deterministic, so a chaos failure reproduces exactly.
 CHAOS_TESTS ?= tests/faults
 
-.PHONY: test smoke smoke-campaign chaos bench bench-warm bench-throughput
+.PHONY: test smoke smoke-campaign chaos bench bench-warm bench-throughput profile
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -54,16 +54,24 @@ smoke-campaign:
 chaos:
 	$(PYTHON) -m pytest -x -q $(CHAOS_TESTS)
 
-## Campaign throughput (jobs=1 vs jobs=N, disk-store cold/warm, a
+## Campaign throughput (jobs=1 vs jobs=N — skipped+flagged on 1-CPU
+## hosts — scalar-vs-batched lane execution, disk-store cold/warm, a
 ## seeded generated suite, the phase-attribution on/off delta, and the
-## fault-tolerance faults-off-vs-chaos delta) as machine-readable JSON,
-## plus the compact trend record (schema v5: commit, jobs, grid,
-## sims/sec, store cold/warm + hit counts, generated-suite build/sim
-## rates, attribution overhead, recovery overhead, env).
-## BENCH_throughput.json at the repo root is the checked-in baseline;
-## compare a fresh run against it to see the bench trajectory.
+## fault-tolerance faults-off-vs-chaos delta; every comparison is
+## min-of-3 interleaved) as machine-readable JSON, plus the compact
+## trend record (schema v6).  BENCH_throughput.json at the repo root is
+## the checked-in baseline; before overwriting it the fresh record is
+## compared against it and any >20% throughput regression is shouted
+## to stderr.
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py --output BENCH_throughput.json
+
+## cProfile the sequential Figure 5 grid (the number `make bench`
+## records) and write the top-25 cumulative/tottime tables to
+## profile.out — the one-command answer to "what should the next perf
+## PR attack".
+profile:
+	$(PYTHON) benchmarks/profile_grid.py --output profile.out
 
 ## Store-hot second-run benchmark: only the cold/warm store phase,
 ## against a persistent store under .repro-cache/ — the first

@@ -1,0 +1,91 @@
+"""cProfile the Figure 5 sequential grid: where do the cycles go?
+
+``make profile`` runs the full models x workloads grid once under
+cProfile (memo tiers off, traces pre-materialised, one untimed prime
+pass — the same protocol as the bench's engine phase, so the profile
+answers for the number ``make bench`` records) and writes the top-25
+functions by cumulative time to ``profile.out``, top-25 by total time
+appended for the flat view.  The same table is echoed to stdout.
+
+The point is a one-command answer to "what should the next perf PR
+attack": the checked-in bench record says how fast the grid is, this
+says *why*.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import dataclasses
+import io
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.exec import TRACE_CACHE, run_jobs  # noqa: E402
+from repro.harness.experiment import (  # noqa: E402
+    MODELS,
+    ExperimentConfig,
+    selected_workloads,
+    suite_jobs,
+)
+from repro.wgen import resolve_workloads  # noqa: E402
+
+TOP = 25
+
+
+def profile_grid(config: ExperimentConfig, workloads, top: int = TOP) -> str:
+    """One profiled sequential pass over the grid; returns the report text."""
+    specs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+    run_jobs(specs, workers=1, memo=False, store=False)  # prime
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_jobs(specs, workers=1, memo=False, store=False)
+    profiler.disable()
+
+    buffer = io.StringIO()
+    buffer.write(f"# Figure 5 grid under cProfile: {len(specs)} simulations, "
+                 f"{config.instructions} instructions/kernel\n")
+    stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write(f"\n## top {top} by cumulative time\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    buffer.write(f"\n## top {top} by total (self) time\n")
+    stats.sort_stats("tottime").print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="dynamic instructions per kernel")
+    parser.add_argument("-w", "--workloads", type=str, default=None,
+                        help="comma-separated workload refs")
+    parser.add_argument("--top", type=int, default=TOP,
+                        help="rows per ranking (default 25)")
+    parser.add_argument("-o", "--output", type=str, default="profile.out",
+                        help="report destination (default profile.out)")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig()
+    if args.instructions is not None:
+        config = dataclasses.replace(config, instructions=args.instructions)
+    workloads = (resolve_workloads(
+        w.strip() for w in args.workloads.split(",") if w.strip())
+        if args.workloads else selected_workloads())
+    # Hermetic like the bench: warm-state checkpoints must not resolve
+    # a developer's .repro-cache/ mid-profile.
+    os.environ["REPRO_STORE"] = "0"
+    report = profile_grid(config, workloads, args.top)
+    sys.stdout.write(report)
+    with open(args.output, "w") as handle:
+        handle.write(report)
+    print(f"\nprofile written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

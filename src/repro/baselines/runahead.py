@@ -37,9 +37,11 @@ class RunaheadCore(CoreModel):
     name = "runahead"
 
     def __init__(self, trace, config=None, hierarchy=None, predictor=None,
-                 advance_on: str = "l2", runahead_cache_entries: int = 256) -> None:
+                 advance_on: str = "l2", runahead_cache_entries: int = 256,
+                 lane_params=None, lane=0) -> None:
         super().__init__(trace, config=config, hierarchy=hierarchy,
-                         predictor=predictor)
+                         predictor=predictor, lane_params=lane_params,
+                         lane=lane)
         if advance_on not in ("l2", "l2_d1", "all"):
             raise ValueError(f"unknown advance_on: {advance_on}")
         self.advance_on = advance_on
@@ -92,7 +94,7 @@ class RunaheadCore(CoreModel):
             return True
         if (level == PENDING and result.mshr is not None
                 and result.mshr.is_l2):
-            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            threshold = 2 * self._l2_hit_latency
             if result.ready_cycle - self.cycle > threshold:
                 return True
         if self.advance_on in ("l2_d1", "all") and level in (L2, PENDING):
@@ -241,6 +243,11 @@ class RunaheadCore(CoreModel):
             if hit is not None:
                 self.stats.store_forward_hits += 1
                 completion = cycle + self._l1d_hit_latency
+            elif (ready := self.hierarchy.data_hit_cycle(dyn.addr,
+                                                         cycle)) is not None:
+                # L1 hit: record_miss is a no-op and an L1 hit never
+                # qualifies a runahead entry, so skip both.
+                completion = ready
             else:
                 result = self.hierarchy.data_access(dyn.addr, cycle)
                 if result.stalled:
@@ -357,6 +364,10 @@ class RunaheadCore(CoreModel):
         if hit is not None:
             self.stats.store_forward_hits += 1
             return ISSUED, self.cycle + self._l1d_hit_latency, False
+        ready = self.hierarchy.data_hit_cycle(dyn.addr, self.cycle)
+        if ready is not None:
+            # L1 hit: never L2-class, never a D$ miss — plain completion.
+            return ISSUED, ready, False
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self.stats.stalls.mshr_full += 1
@@ -373,7 +384,7 @@ class RunaheadCore(CoreModel):
         if result.level == MEMORY:
             return True
         if result.level in (STREAM, PENDING):
-            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            threshold = 2 * self._l2_hit_latency
             return result.ready_cycle - self.cycle > threshold
         return False
 

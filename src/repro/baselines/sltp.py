@@ -50,12 +50,12 @@ class SLTPCore(ICFPCore):
 
     def __init__(self, trace, config=None, hierarchy=None, predictor=None,
                  features: ICFPFeatures | None = None,
-                 advance_on: str = "l2") -> None:
+                 advance_on: str = "l2", **kwargs) -> None:
         feats = features if features is not None else sltp_features(advance_on)
         feats = replace(feats, nonblocking_rally=False, mt_rally=False,
                         poison_bits=1)
         super().__init__(trace, config=config, hierarchy=hierarchy,
-                         predictor=predictor, features=feats)
+                         predictor=predictor, features=feats, **kwargs)
         #: L1 lines written speculatively during the current episode.
         self._spec_lines: set[int] = set()
         self._flushed_this_episode = False

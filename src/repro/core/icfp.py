@@ -94,9 +94,11 @@ class ICFPCore(CoreModel):
     name = "icfp"
 
     def __init__(self, trace, config=None, hierarchy=None, predictor=None,
-                 features: ICFPFeatures | None = None) -> None:
+                 features: ICFPFeatures | None = None,
+                 lane_params=None, lane=0) -> None:
         super().__init__(trace, config=config, hierarchy=hierarchy,
-                         predictor=predictor)
+                         predictor=predictor, lane_params=lane_params,
+                         lane=lane)
         self.features = features if features is not None else ICFPFeatures()
         f = self.features
         self._mt_rally = f.mt_rally
@@ -390,6 +392,11 @@ class ICFPCore(CoreModel):
             self._finish_issue(dyn, entry, self.cycle + self._l1d_hit_latency
                                + fwd.excess_hops)
             return ISSUED
+        ready = self.hierarchy.data_hit_cycle(dyn.addr, self.cycle)
+        if ready is not None:
+            # L1 hit: record_miss is a no-op and never advance-qualifying.
+            self._finish_issue(dyn, entry, ready)
+            return ISSUED
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self.stats.stalls.mshr_full += 1
@@ -498,6 +505,13 @@ class ICFPCore(CoreModel):
             self.ports.mem_free -= 1
             self._commit_advance(dyn, entry, self.cycle + self._l1d_hit_latency
                                  + fwd.excess_hops)
+            return ISSUED
+        ready = self.hierarchy.data_hit_cycle(dyn.addr, self.cycle)
+        if ready is not None:
+            # L1 hit: cache-sourced, never advance-qualifying.
+            self.signature.insert(dyn.addr)
+            self.ports.mem_free -= 1
+            self._commit_advance(dyn, entry, ready)
             return ISSUED
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
@@ -714,6 +728,13 @@ class ICFPCore(CoreModel):
                                      + self._l1d_hit_latency + fwd.excess_hops)
             self._pass_cursor += 1
             return True
+        ready = self.hierarchy.data_hit_cycle(dyn.addr, self.cycle)
+        if ready is not None:
+            # L1 hit: never advance-qualifying, merges immediately.
+            self.signature.insert(dyn.addr)
+            self._merge_rally_result(slice_entry, ready)
+            self._pass_cursor += 1
+            return True
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self._rally_wait_until = self.cycle + 1
@@ -798,7 +819,7 @@ class ICFPCore(CoreModel):
         if self.features.advance_on == "all":
             return level in (L2, STREAM, PENDING)
         if level == PENDING and result.mshr is not None and result.mshr.is_l2:
-            threshold = 2 * self.config.hierarchy.l2.hit_latency
+            threshold = 2 * self._l2_hit_latency
             return result.ready_cycle - self.cycle > threshold
         return False
 
@@ -980,6 +1001,9 @@ class ICFPCore(CoreModel):
             if kind == KIND_LOAD:
                 if dyn.addr in self._shadow_stores:
                     completion = cycle + self._l1d_hit_latency
+                elif (ready := self.hierarchy.data_hit_cycle(
+                        dyn.addr, cycle)) is not None:
+                    completion = ready  # L1 hit: never advance-qualifying
                 else:
                     result = self.hierarchy.data_access(dyn.addr, cycle)
                     if result.stalled:

@@ -54,6 +54,7 @@ from ..pipeline.config import MachineConfig
 from ..pipeline.resources import PortSet
 from ..pipeline.stats import CoreStats, PhaseStats
 from ..pipeline.store_queue import StoreQueue
+from .batch import LaneParams
 from .result import SimResult
 
 #: try_issue outcomes.
@@ -87,6 +88,8 @@ class CoreModel:
         config: MachineConfig | None = None,
         hierarchy: MemoryHierarchy | None = None,
         predictor: BranchPredictor | None = None,
+        lane_params: LaneParams | None = None,
+        lane: int = 0,
     ) -> None:
         self.trace = trace
         self.config = config if config is not None else MachineConfig.hpca09()
@@ -97,6 +100,17 @@ class CoreModel:
         self.predictor = predictor if predictor is not None else BranchPredictor()
         self.stats = CoreStats()
 
+        # Config-dependent constants are indexed out of a LaneParams
+        # structure-of-arrays table rather than closed over: a scalar
+        # core owns a one-lane table, a batched core shares its batch's
+        # table and reads its own lane.  ``int()`` keeps numpy-backed
+        # columns from leaking int64 scalars into cycle arithmetic.
+        if lane_params is None:
+            lane_params = LaneParams.of(self.config)
+            lane = 0
+        self.lane_params = lane_params
+        self.lane = lane
+
         self.cycle = 0
         self.reg_ready = [0] * NUM_REGS
         self.fetch_queue: deque[FetchEntry] = deque()
@@ -105,15 +119,17 @@ class CoreModel:
         self.fetch_resume_cycle = 0
         self._ifetch_ready = 0
         self._last_fetch_line = -1
-        self.ports = PortSet(self.config.int_ports, self.config.mem_ports)
-        self.store_queue = StoreQueue(self.config.store_buffer_entries)
+        self.ports = PortSet(int(lane_params.int_ports[lane]),
+                             int(lane_params.mem_ports[lane]))
+        self.store_queue = StoreQueue(
+            int(lane_params.store_buffer_entries[lane]))
         self.committed_memory: dict[int, object] = {}
         self.last_completion = 0
         self.returned_mshrs = []
         self._progress = False
 
-        # Hot-loop bindings: flat per-trace arrays plus the config
-        # scalars the per-cycle phases touch, hoisted out of the
+        # Hot-loop bindings: flat per-trace arrays plus the per-lane
+        # config scalars the per-cycle phases touch, hoisted out of the
         # object graph once per simulation.
         cfg = self.config
         hot = trace.hot
@@ -127,13 +143,14 @@ class CoreModel:
         self._dst = hot.dst
         self._exec_done = hot.exec_done
         self._port_int = hot.port_int
-        self._width = cfg.width
-        self._fq_depth = cfg.fetch_queue_depth
-        self._frontend_depth = cfg.frontend_depth
-        self._l1i_line_bytes = cfg.hierarchy.l1i.line_bytes
+        self._width = int(lane_params.width[lane])
+        self._fq_depth = int(lane_params.fetch_queue_depth[lane])
+        self._frontend_depth = int(lane_params.frontend_depth[lane])
+        self._l1i_line_bytes = int(lane_params.l1i_line_bytes[lane])
         self._iline = hot.iline(self._l1i_line_bytes)
-        self._l1d_hit_latency = cfg.hierarchy.l1d.hit_latency
-        self._max_cycles = cfg.max_cycles
+        self._l1d_hit_latency = int(lane_params.l1d_hit_latency[lane])
+        self._l2_hit_latency = int(lane_params.l2_hit_latency[lane])
+        self._max_cycles = int(lane_params.max_cycles[lane])
 
         # Phase attribution (observation only).  Multi-region programs
         # get live per-commit bucketing — one flat-array lookup guarded
@@ -269,6 +286,19 @@ class CoreModel:
     # ==================================================================
     def run(self) -> SimResult:
         """Simulate to completion and return the result."""
+        # The limit is past the divergence guard, so a scalar run either
+        # completes or raises — it never yields at the boundary.
+        self.run_until(self._max_cycles + 2)
+        return self.finalize()
+
+    def run_until(self, limit: int) -> bool:
+        """Advance until done or ``cycle >= limit``; True iff done.
+
+        The batch wavefront's entry point: a lane runs its own event
+        horizons (leaps included) inside the slice and simply yields at
+        the boundary, so callers interleave lanes without perturbing any
+        lane's cycle-by-cycle behaviour.
+        """
         max_cycles = self._max_cycles
         step_cycle = self.step_cycle
         done = self.done
@@ -277,12 +307,19 @@ class CoreModel:
         # model's done() — pre-filtering it keeps the completion check
         # out of the per-cycle loop until the run is actually draining.
         while not (self.cursor >= trace_len and done()):
+            if self.cycle >= limit:
+                return False
             if self.cycle > max_cycles:
                 raise SimulationDiverged(
                     f"{self.name}: exceeded {max_cycles} cycles "
                     f"({self.stats.instructions}/{trace_len} committed)"
                 )
             step_cycle()
+        return True
+
+    def finalize(self) -> SimResult:
+        """Seal aggregate stats and package the result (after run_until
+        reports completion)."""
         self.stats.cycles = max(self.cycle, self.last_completion)
         self.stats.branch_mispredicts = self.predictor.mispredictions
         return SimResult(self.name, self.trace.program.name, self.stats,
@@ -482,6 +519,11 @@ class CoreModel:
         if hit is not None:
             self.stats.store_forward_hits += 1
             return self.cycle + self._l1d_hit_latency
+        # L1 hits dominate most traces; the fast probe skips the full
+        # data_access arm walk (record_miss is a no-op for L1 hits).
+        ready = self.hierarchy.data_hit_cycle(dyn.addr, self.cycle)
+        if ready is not None:
+            return ready
         result = self.hierarchy.data_access(dyn.addr, self.cycle)
         if result.stalled:
             self.stats.stalls.mshr_full += 1

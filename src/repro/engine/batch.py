@@ -1,0 +1,241 @@
+"""Batched multi-config execution: one trace pass, many config lanes.
+
+Campaign sweeps re-simulate the *same* (workload, model) pair under
+dozens of configurations — the Figure 6 latency sweep alone runs each
+kernel trace once per L2 latency point.  The scalar engine pays the
+whole per-job setup bill (trace materialisation, warm-state snapshots,
+hot-array binding) once per configuration; this module amortises it by
+advancing a *lane-vector* of configurations over one shared
+:class:`~repro.functional.trace.TraceHot` in bounded time slices.
+
+Lane model
+----------
+A **lane** is one configuration of the batch: one core instance bound
+to a lane index into :class:`LaneParams`, the structure-of-arrays table
+of config-dependent constants (pipeline widths, queue depths, cache
+line geometry, hit latencies).  Cores read their hot constants by
+indexing the shared columns — ``params.width[lane]`` — instead of
+closing over a private config, which is what makes a batch a vector of
+lanes over one trace rather than N unrelated simulations.
+
+Scheduling is wavefront-style with **per-lane event horizons**: the
+driver advances every live lane up to a chunk boundary via
+``CoreModel.run_until`` and keeps per-lane clock/done columns.  A lane
+that finishes drops out of the wavefront immediately; a lane whose
+event-horizon leap overshoots the boundary simply waits (its clock is
+already beyond the chunk), so neither finished nor leaping lanes ever
+stall the rest of the batch.
+
+Byte-identity contract
+----------------------
+Lanes share only *read-only* state: the trace's flat arrays and the
+warm-snapshot stash (keyed by hierarchy geometry, order-independent).
+Every mutable structure — hierarchy, predictor, scoreboard, stats — is
+per-lane, and ``run_until`` performs exactly the scalar ``run`` loop's
+checks in the scalar order.  A batched simulation is therefore
+*byte-identical* to the scalar engine, pinned by the golden fixtures
+and ``tests/engine/test_batch_differential.py``.
+
+The numpy-backed columns are optional: :func:`lane_column` falls back
+to :mod:`array` (and plain ints come back out either way — bindings
+cast at read time), so the backend is pure-python clean.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from functools import cached_property
+from hashlib import sha256
+
+try:  # numpy-optional: columns degrade to array('q') without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy present in CI image
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Cycles per wavefront time slice.  Large enough that slice-switch
+#: overhead vanishes against ~µs/cycle simulation cost, small enough
+#: that a short lane exits the wavefront promptly.
+DEFAULT_CHUNK = 50_000
+
+
+def lane_column(values) -> "object":
+    """A signed-64-bit SoA column (numpy when available, else array)."""
+    values = list(values)
+    if _np is not None:
+        return _np.array(values, dtype=_np.int64)
+    return array("q", values)
+
+
+class LaneParams:
+    """Structure-of-arrays table of per-lane config constants.
+
+    One column per config-dependent constant the hot ``step_cycle`` /
+    issue paths consume; row *i* holds lane *i*'s value.  Cores bind
+    ``int(column[lane])`` at construction — the per-lane indexing
+    replaces the former pattern of closing each constant over a private
+    :class:`~repro.pipeline.config.MachineConfig`.
+    """
+
+    #: (column name, attribute path into a MachineConfig)
+    COLUMNS = (
+        ("width", ("width",)),
+        ("int_ports", ("int_ports",)),
+        ("mem_ports", ("mem_ports",)),
+        ("frontend_depth", ("frontend_depth",)),
+        ("fetch_queue_depth", ("fetch_queue_depth",)),
+        ("store_buffer_entries", ("store_buffer_entries",)),
+        ("max_cycles", ("max_cycles",)),
+        ("l1i_line_bytes", ("hierarchy", "l1i", "line_bytes")),
+        ("l1d_line_bytes", ("hierarchy", "l1d", "line_bytes")),
+        ("l1d_hit_latency", ("hierarchy", "l1d", "hit_latency")),
+        ("l2_hit_latency", ("hierarchy", "l2", "hit_latency")),
+    )
+
+    __slots__ = tuple(name for name, _path in COLUMNS) + ("n_lanes",)
+
+    def __init__(self, machine_configs) -> None:
+        machine_configs = list(machine_configs)
+        self.n_lanes = len(machine_configs)
+        for name, path in self.COLUMNS:
+            rows = []
+            for cfg in machine_configs:
+                value = cfg
+                for attr in path:
+                    value = getattr(value, attr)
+                rows.append(value)
+            setattr(self, name, lane_column(rows))
+
+    @classmethod
+    def for_configs(cls, machine_configs) -> "LaneParams":
+        return cls(machine_configs)
+
+    @classmethod
+    def of(cls, machine_config) -> "LaneParams":
+        """A one-lane table (the scalar engine's degenerate batch)."""
+        return cls((machine_config,))
+
+
+def run_lanes(cores, chunk: int = DEFAULT_CHUNK) -> list:
+    """Advance a lane-vector of cores to completion; results per lane.
+
+    The wavefront driver: per-lane ``clocks``/``done`` columns track the
+    batch, and every outer iteration advances each live lane up to the
+    current chunk boundary.  ``run_until`` honours each lane's own event
+    horizons internally (leaps included), so a lane that jumps past the
+    boundary just sits out later slices until the boundary catches up,
+    and a finished lane leaves the wavefront at once.
+    """
+    n = len(cores)
+    clocks = lane_column([0] * n)
+    done = array("b", bytes(n))
+    while True:
+        live = [lane for lane in range(n) if not done[lane]]
+        if not live:
+            break
+        # The next boundary trails the *slowest* live lane: lanes whose
+        # leaps already overshot it are skipped for free, and no slice
+        # is wasted on a region where every live clock has moved past.
+        horizon = chunk + min(clocks[lane] for lane in live)
+        for lane in live:
+            core = cores[lane]
+            if core.run_until(horizon):
+                done[lane] = 1
+            clocks[lane] = core.cycle
+    return [core.finalize() for core in cores]
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A lane-vector of compatible :class:`~repro.exec.job.SimJob`s.
+
+    Compatibility means identical (model, workload, instruction budget):
+    every lane replays the same trace on the same machine model, while
+    the rest of each job's config (latencies, stream buffers, warm-up,
+    feature flags) varies per lane.  Memo/store identity stays per
+    member job — :meth:`run` returns one result per lane, in member
+    order, and the scheduler splits them back into per-fingerprint
+    records before any flush.
+    """
+
+    jobs: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.jobs) < 2:
+            raise ValueError("a BatchJob needs at least 2 lanes")
+        first = self.jobs[0]
+        for job in self.jobs[1:]:
+            if (job.model != first.model or job.workload != first.workload
+                    or job.config.instructions != first.config.instructions):
+                raise ValueError(
+                    "incompatible batch lanes: grouping requires identical "
+                    "(model, workload, instructions)")
+
+    # Delegates so scheduler helpers (labels, trace prewarm keys) treat
+    # a batch like the job it stands for.
+    @property
+    def model(self) -> str:
+        return self.jobs[0].model
+
+    @property
+    def workload(self):
+        return self.jobs[0].workload
+
+    @property
+    def config(self):
+        return self.jobs[0].config
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Batch task identity (fault rolls, labels) — *not* a result
+        key; results are keyed by the member jobs' own fingerprints."""
+        digest = sha256("\n".join(j.fingerprint for j in self.jobs).encode())
+        return "batch:" + digest.hexdigest()
+
+    @property
+    def member_fingerprints(self) -> tuple:
+        return tuple(job.fingerprint for job in self.jobs)
+
+    def run(self) -> list:
+        """Simulate every lane over one shared trace; results per lane."""
+        # Local imports: repro.exec and repro.harness drive their jobs
+        # through cores, so top-level imports would be circular.
+        from ..exec.cache import TRACE_CACHE
+        from ..harness.experiment import make_core
+
+        first = self.jobs[0]
+        trace = TRACE_CACHE.get(first.workload, first.config.instructions)
+        params = LaneParams.for_configs(
+            job.config.machine_config() for job in self.jobs)
+        cores = [make_core(job.model, trace, job.config,
+                           lane_params=params, lane=lane)
+                 for lane, job in enumerate(self.jobs)]
+        return run_lanes(cores)
+
+
+def plan_batches(jobs, width: int) -> list:
+    """Group compatible jobs into :class:`BatchJob`s, preserving order.
+
+    ``width`` caps lanes per batch (0 = unbounded).  Jobs that share
+    (model, workload, instructions) join the most recent open group for
+    that key; a group of one stays a plain job.  Each group occupies the
+    position of its first member, so result ordering and strict-mode
+    failure ordering follow the input like the scalar path.
+    """
+    if width == 1 or len(jobs) < 2:
+        return list(jobs)
+    units: list = []
+    open_groups: dict = {}
+    for job in jobs:
+        key = (job.model, job.workload, job.config.instructions)
+        lanes = open_groups.get(key)
+        if lanes is None or (width > 1 and len(lanes) >= width):
+            lanes = [job]
+            open_groups[key] = lanes
+            units.append(lanes)
+        else:
+            lanes.append(job)
+    return [lanes[0] if len(lanes) == 1 else BatchJob(jobs=tuple(lanes))
+            for lanes in units]

@@ -74,6 +74,20 @@ class Cache:
         self.misses += 1
         return False
 
+    def lookup_if_present(self, line_addr: int) -> bool:
+        """``lookup`` that backs out of misses: a hit promotes to MRU and
+        counts exactly like :meth:`lookup`, but a miss has *no* side
+        effects — the caller is expected to fall back to the full access
+        path, whose own lookup then counts the miss once."""
+        way_list = self._sets[line_addr & self._set_mask]
+        for i, entry in enumerate(way_list):
+            if entry[0] == line_addr:
+                if i:
+                    way_list.insert(0, way_list.pop(i))
+                self.hits += 1
+                return True
+        return False
+
     def probe(self, line_addr: int) -> bool:
         """Presence check with no LRU or statistics side effects."""
         way_list = self._sets[line_addr & self._set_mask]

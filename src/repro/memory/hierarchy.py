@@ -205,6 +205,32 @@ class MemoryHierarchy:
         return MemResult(ready, level, line, l1_miss=True, l2_miss=l2_miss,
                          mshr=mshr, new_fill=True)
 
+    def data_hit_cycle(self, addr: int, cycle: int,
+                       is_store: bool = False) -> int | None:
+        """Fast path for the dominant L1-hit case; None → take the full
+        :meth:`data_access` walk.
+
+        Byte-identical to data_access on the hit arm: same counter
+        increments (``data_accesses`` here, ``hits`` inside the tag
+        probe), same MRU promotion, same dirty marking, same ready
+        cycle.  On any other arm — a live pending fill on the line, or
+        an L1 tag miss — it touches *nothing* (``lookup_if_present``
+        has no miss side effects) so data_access replays from scratch
+        and counts the access exactly once.
+        """
+        line = addr // self._l1d_line_bytes
+        mshrs = self.mshrs
+        if mshrs._pending:
+            pending = mshrs._pending.get(line)
+            if pending is not None and pending.ready_cycle > cycle:
+                return None
+        if not self.l1d.lookup_if_present(line):
+            return None
+        self.data_accesses += 1
+        if is_store:
+            self.l1d.mark_dirty(line)
+        return cycle + self._l1d_lat
+
     # ------------------------------------------------------------------
     # instruction side
     # ------------------------------------------------------------------
@@ -238,7 +264,7 @@ class MemoryHierarchy:
             # for; the instruction stream shares them with data.
             stream_ready = self.prefetcher.lookup(l2_line, cycle)
             if stream_ready is not None:
-                ready = max(cycle + lat + cfg.l2.hit_latency, stream_ready)
+                ready = max(cycle + lat + self._l2_lat, stream_ready)
                 level = STREAM
             else:
                 ready = max(cycle + lat, self.memory.read_line(cycle))

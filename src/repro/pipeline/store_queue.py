@@ -84,10 +84,13 @@ class StoreQueue:
             return False
         head = self._queue[0]
         if head.drain_ready is None:
-            result = hierarchy.data_access(head.addr, cycle, is_store=True)
-            if result.stalled:
-                return False  # no MSHR: retry next cycle
-            head.drain_ready = result.ready_cycle
+            ready = hierarchy.data_hit_cycle(head.addr, cycle, is_store=True)
+            if ready is None:
+                result = hierarchy.data_access(head.addr, cycle, is_store=True)
+                if result.stalled:
+                    return False  # no MSHR: retry next cycle
+                ready = result.ready_cycle
+            head.drain_ready = ready
         if head.drain_ready <= cycle:
             if memory_image is not None:
                 memory_image[head.addr] = head.value

@@ -24,3 +24,6 @@ def hermetic_result_store(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_FAULTS", raising=False)
     monkeypatch.delenv("REPRO_RETRIES", raising=False)
     monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+    # Batching is byte-identical by contract, but tests assert exact
+    # scheduling counters (attempts, computed) — keep it opt-in per test.
+    monkeypatch.delenv("REPRO_BATCH", raising=False)

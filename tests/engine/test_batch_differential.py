@@ -1,0 +1,206 @@
+"""Batch-vs-scalar differential suite.
+
+The batched backend's contract is that batching is *pure scheduling*:
+for any grouping of compatible jobs into lane-vectors, every statistic
+— including raw MLP fill intervals and per-phase buckets — is byte
+identical to the scalar engine, at every batch width, through retries
+and injected faults.  :func:`repro.exec.store.result_to_payload` is the
+comparison key: it serialises results exactly (raw intervals, not
+derived averages), so equal payload JSON means equal results bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.batch import BatchJob, plan_batches, run_lanes
+from repro.exec import (
+    CampaignReport,
+    FaultPlan,
+    SimJob,
+    injected_faults,
+    run_jobs,
+)
+from repro.exec.cache import TRACE_CACHE
+from repro.exec.engine import batch_width
+from repro.exec.store import result_to_payload
+from repro.harness.experiment import MODELS, ExperimentConfig, make_core
+from repro.wgen.registry import resolve_workloads
+
+INSTRUCTIONS = 300
+
+NAMED_KERNELS = ("mcf_like", "mesa_like", "equake_like", "gzip_like")
+
+#: Config spread: latency extremes plus a cold-cache, starved-prefetch
+#: variant, so lanes in one batch differ in geometry-derived constants,
+#: not just one latency.
+GRID_CONFIGS = (
+    ExperimentConfig(instructions=INSTRUCTIONS, l2_hit_latency=6),
+    ExperimentConfig(instructions=INSTRUCTIONS, l2_hit_latency=300),
+    ExperimentConfig(instructions=INSTRUCTIONS, l2_hit_latency=20,
+                     stream_buffers=2, warm=False),
+)
+
+#: An 8-point latency sweep on one (model, workload): the batch widths
+#: {2, 7, full} all split this group differently (4x2, 7+1, 1x8).
+SWEEP_LATENCIES = (6, 10, 20, 40, 80, 160, 300, 500)
+
+
+def all_workloads():
+    return list(NAMED_KERNELS) + resolve_workloads(["gen:4:42"])
+
+
+def grid_jobs():
+    """All five models x (4 named kernels + gen:4:42) x config spread."""
+    return [SimJob(model, workload, config)
+            for workload in all_workloads()
+            for model in MODELS
+            for config in GRID_CONFIGS]
+
+
+def sweep_jobs():
+    return [SimJob("icfp", "mcf_like",
+                   ExperimentConfig(instructions=INSTRUCTIONS,
+                                    l2_hit_latency=latency))
+            for latency in SWEEP_LATENCIES]
+
+
+def payloads(results):
+    return [json.dumps(result_to_payload(r), sort_keys=True)
+            for r in results]
+
+
+def run_batched(jobs, width, monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_BATCH", str(width))
+    try:
+        return run_jobs(jobs, workers=1, memo=False, store=False, **kwargs)
+    finally:
+        monkeypatch.delenv("REPRO_BATCH")
+
+
+@pytest.fixture(scope="module")
+def grid_baseline():
+    jobs = grid_jobs()
+    return payloads(run_jobs(jobs, workers=1, memo=False, store=False))
+
+
+@pytest.fixture(scope="module")
+def sweep_baseline():
+    jobs = sweep_jobs()
+    return payloads(run_jobs(jobs, workers=1, memo=False, store=False))
+
+
+# ----------------------------------------------------------------------
+# width sweep
+# ----------------------------------------------------------------------
+def test_default_width_is_scalar(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert batch_width() == 1
+    monkeypatch.setenv("REPRO_BATCH", "auto")
+    assert batch_width() == 0
+    monkeypatch.setenv("REPRO_BATCH", "7")
+    assert batch_width() == 7
+
+
+def test_width_one_never_batches():
+    jobs = sweep_jobs()
+    units = plan_batches(jobs, 1)
+    assert units == jobs  # identity: the scalar escape hatch
+
+
+@pytest.mark.parametrize("width,shape", [(2, (2, 2, 2, 2)), (7, (7, 1)),
+                                         (0, (8,))])
+def test_sweep_widths_byte_identical(width, shape, sweep_baseline,
+                                     monkeypatch):
+    jobs = sweep_jobs()
+    units = plan_batches(jobs, width)
+    assert tuple(len(getattr(u, "jobs", (u,))) for u in units) == shape
+    results = run_batched(jobs, width, monkeypatch)
+    assert payloads(results) == sweep_baseline
+
+
+@pytest.mark.parametrize("width", [2, 0])
+def test_full_grid_byte_identical(width, grid_baseline, monkeypatch):
+    """All five models, named + generated workloads (phase attribution
+    live on the generated ones), lanes differing in latency, stream
+    buffers, and warm-up — bit-equal at every width."""
+    jobs = grid_jobs()
+    report = CampaignReport()
+    results = run_batched(jobs, width, monkeypatch, report=report)
+    assert payloads(results) == grid_baseline
+    assert report.computed == len(jobs)  # every member flushed singly
+
+
+# ----------------------------------------------------------------------
+# ragged lanes
+# ----------------------------------------------------------------------
+def test_ragged_lanes_finish_independently():
+    """Lanes whose runtimes differ by orders of magnitude: the fast lane
+    leaves the wavefront early and neither stalls nor perturbs the slow
+    one, even with a tiny chunk forcing many slices."""
+    trace = TRACE_CACHE.get("gzip_like", INSTRUCTIONS)
+    configs = [ExperimentConfig(instructions=INSTRUCTIONS, l2_hit_latency=6),
+               ExperimentConfig(instructions=INSTRUCTIONS, l2_hit_latency=500,
+                                stream_buffers=0, warm=False)]
+    from repro.engine.batch import LaneParams
+
+    params = LaneParams.for_configs(c.machine_config() for c in configs)
+    cores = [make_core("icfp", trace, config, lane_params=params, lane=lane)
+             for lane, config in enumerate(configs)]
+    batched = run_lanes(cores, chunk=256)
+    scalar = [make_core("icfp", trace, config).run() for config in configs]
+    assert payloads(batched) == payloads(scalar)
+    # Genuinely ragged: the cold slow lane ran far past the warm fast one.
+    assert batched[1].stats.cycles > 3 * batched[0].stats.cycles
+
+
+# ----------------------------------------------------------------------
+# chaos: faulted batches retry whole, recover byte-identically
+# ----------------------------------------------------------------------
+def _first_batch_fingerprints(jobs, width):
+    return [unit.fingerprint for unit in plan_batches(jobs, width)
+            if isinstance(unit, BatchJob)]
+
+
+def _seed_hitting_a_batch(kind, fingerprints, rate):
+    for seed in range(200):
+        plan = FaultPlan(seed=seed, **{kind: rate})
+        if any(plan.would_fail(kind, fp) for fp in fingerprints):
+            return plan
+    raise AssertionError("no qualifying seed in range — widen the search")
+
+
+def test_batch_retry_in_process_is_byte_identical(sweep_baseline,
+                                                  monkeypatch):
+    jobs = sweep_jobs()
+    plan = _seed_hitting_a_batch("job_exception",
+                                 _first_batch_fingerprints(jobs, 0), 0.5)
+    report = CampaignReport()
+    with injected_faults(plan) as injector:
+        results = run_batched(jobs, 0, monkeypatch, report=report)
+    assert injector.counts["job_exception"] >= 1
+    assert report.retries >= 1
+    assert payloads(results) == sweep_baseline
+    assert report.ok()
+
+
+@pytest.mark.slow
+def test_batch_worker_death_recovers_byte_identical(sweep_baseline,
+                                                    monkeypatch):
+    """REPRO_FAULTS worker death mid-batch: the whole lane-vector dies
+    with its worker, retries per the RetryPolicy, and the recovered
+    campaign is byte-identical to the fault-free scalar run."""
+    jobs = sweep_jobs()
+    plan = _seed_hitting_a_batch("worker_death",
+                                 _first_batch_fingerprints(jobs, 2), 0.5)
+    monkeypatch.setenv("REPRO_FAULTS", plan.to_env())
+    monkeypatch.setenv("REPRO_BATCH", "2")
+    report = CampaignReport()
+    results = run_jobs(jobs, workers=2, memo=False, store=False,
+                       report=report)
+    assert report.pool_breaks >= 1
+    assert payloads(results) == sweep_baseline
+    assert report.ok()
