@@ -11,7 +11,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Fast-profile knobs (override on the command line as needed).
 SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
-SMOKE_TESTS ?= tests/exec tests/faults tests/harness tests/engine tests/workloads tests/wgen tests/stats
+SMOKE_TESTS ?= tests/exec tests/fabric tests/faults tests/harness tests/engine tests/workloads tests/wgen tests/stats
 # Smoke deselects @pytest.mark.slow (wide fixed-budget grids that ignore
 # the REPRO_* fast profile); the full suite always runs them.
 SMOKE_MARKERS ?= not slow
@@ -20,8 +20,12 @@ SMOKE_MARKERS ?= not slow
 # resurrection, timeouts, SIGKILL-resume, store corruption) at a fixed
 # seed — deterministic, so a chaos failure reproduces exactly.
 CHAOS_TESTS ?= tests/faults
+# Fabric chaos: the lease-based campaign fabric under the same
+# deterministic fault plans, slow tests included (SIGKILL'd workers and
+# a SIGKILL'd coordinator resumed in a fresh process).
+FABRIC_CHAOS_TESTS ?= tests/fabric
 
-.PHONY: test smoke smoke-campaign chaos bench bench-warm bench-throughput profile
+.PHONY: test smoke smoke-campaign chaos fabric-chaos bench bench-warm bench-throughput profile
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -54,12 +58,22 @@ smoke-campaign:
 chaos:
 	$(PYTHON) -m pytest -x -q $(CHAOS_TESTS)
 
+## The lease fabric's chaos matrix, slow tests included: lease
+## expiry-then-steal, torn lease records, stalled heartbeats, skewed
+## worker clocks, SIGKILL'd workers re-leased mid-campaign, and a
+## SIGKILL'd coordinator whose fresh process resumes recomputing only
+## the unflushed cells — every campaign byte-identical to its
+## fault-free sequential run.
+fabric-chaos:
+	$(PYTHON) -m pytest -x -q $(FABRIC_CHAOS_TESTS)
+
 ## Campaign throughput (jobs=1 vs jobs=N — skipped+flagged on 1-CPU
 ## hosts — scalar-vs-batched lane execution, disk-store cold/warm, a
 ## seeded generated suite, the phase-attribution on/off delta, and the
-## fault-tolerance faults-off-vs-chaos delta; every comparison is
-## min-of-3 interleaved) as machine-readable JSON, plus the compact
-## trend record (schema v6).  BENCH_throughput.json at the repo root is
+## fault-tolerance faults-off-vs-chaos delta, and the sequential-vs-
+## lease-fabric coordination delta; every comparison is min-of-3
+## interleaved) as machine-readable JSON, plus the compact
+## trend record (schema v7).  BENCH_throughput.json at the repo root is
 ## the checked-in baseline; before overwriting it the fresh record is
 ## compared against it and any >20% throughput regression is shouted
 ## to stderr.

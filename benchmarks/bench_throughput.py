@@ -28,6 +28,11 @@ Six measurements, separated so the trend record can tell them apart:
 * **fault-tolerance overhead** — the same pooled grid with faults off
   vs ~10% deterministic worker death (pool teardown, resurrection,
   retries).
+* **fabric throughput** — the grid through the lease-based campaign
+  fabric (coordinator + 2 forked workers over a fresh ledger + store
+  per rep) vs plain sequential execution: what the durable
+  coordination layer costs end to end (fork, leases, heartbeats,
+  store round-trip), byte-identity checked.
 
 Methodology: every on-vs-off comparison (engine jobs=1 vs jobs=N,
 batch scalar vs batched, attribution on vs off, faults clean vs chaos)
@@ -81,6 +86,7 @@ from repro.exec import (  # noqa: E402
     default_jobs,
     injected_faults,
     run_jobs,
+    run_jobs_fabric,
 )
 from repro.exec.store import result_to_payload  # noqa: E402
 from repro.harness.experiment import (  # noqa: E402
@@ -489,6 +495,82 @@ def run_fault_tolerance_phase(config: ExperimentConfig, workloads,
     }
 
 
+#: Fabric phase worker count: 2 keeps the phase cheap while still
+#: exercising real multi-process lease traffic.
+FABRIC_WORKERS = 2
+
+
+def run_fabric_phase(config: ExperimentConfig, workloads,
+                     workers: int = FABRIC_WORKERS) -> dict:
+    """Sequential in-process vs the lease fabric over the same grid.
+
+    Each fabric rep gets a *fresh* ledger and store root, so every rep
+    pays the full coordination bill — fork, lease claims, heartbeats,
+    content-addressed flush, collection — and none adopts a prior rep's
+    records.  The sequential side is the same grid memo-off in-process.
+    Byte-identity is the fabric's core contract; the throughput ratio
+    is the honest price of durable coordination at this grid size
+    (small grids are dominated by fork + per-cell I/O, so expect the
+    overhead to shrink as campaigns grow).
+    """
+    from repro.exec import TRACE_CACHE
+
+    specs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+
+    def seq_pass():
+        return _timed(lambda: run_jobs(specs, workers=1, memo=False,
+                                       store=False, fabric=False))
+
+    def fabric_pass():
+        root = tempfile.mkdtemp(prefix="repro-bench-fabric-")
+        report = CampaignReport()
+        try:
+            wall, results = _timed(
+                lambda: run_jobs_fabric(specs, workers=workers, memo=False,
+                                        store=ResultStore(root),
+                                        report=report))
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        return wall, results, report
+
+    seq_pass()  # prime: bytecode + warm snapshots, inherited by forks
+    seq_walls, fabric_walls = [], []
+    seq_results = fabric_results = None
+    reports = []
+    for _ in range(COMPARE_REPS):
+        wall, seq_results = seq_pass()
+        seq_walls.append(wall)
+        wall, fabric_results, rep = fabric_pass()
+        fabric_walls.append(wall)
+        reports.append(rep)
+    seq_wall, fabric_wall = min(seq_walls), min(fabric_walls)
+    sims = len(specs)
+    # Lease traffic is rep-dependent (scheduling races); report the
+    # counters of the fastest rep, the one whose wall is recorded.
+    fastest = reports[fabric_walls.index(fabric_wall)]
+    return {
+        "methodology": METHODOLOGY,
+        "simulations": sims,
+        "workers": workers,
+        "reps": COMPARE_REPS,
+        "sequential_wall_s": round(seq_wall, 4),
+        "fabric_wall_s": round(fabric_wall, 4),
+        "sequential_sims_per_sec": round(sims / seq_wall, 2),
+        "sims_per_sec": round(sims / fabric_wall, 2),
+        "speedup": round(seq_wall / fabric_wall, 2),
+        "leases_issued": fastest.leases_issued,
+        "leases_reclaimed": (fastest.leases_expired
+                             + fastest.leases_stolen
+                             + fastest.leases_reclaimed),
+        "worker_deaths": fastest.worker_deaths,
+        "degradations": fastest.degradations,
+        "results_identical": (_payloads(seq_results)
+                              == _payloads(fabric_results)),
+    }
+
+
 def campaign_throughput(parallel_jobs: int | None = None,
                         config: ExperimentConfig | None = None,
                         workloads=None, store_dir: str | None = None,
@@ -514,6 +596,10 @@ def campaign_throughput(parallel_jobs: int | None = None,
     # batch width) would corrupt the trend record.  Restored afterwards.
     prior_store_env = os.environ.get("REPRO_STORE")
     prior_batch_env = os.environ.pop("REPRO_BATCH", None)
+    # An ambient REPRO_FABRIC_WORKERS would silently reroute every
+    # non-fabric phase's campaigns through the fabric; the fabric phase
+    # passes its worker count explicitly.
+    prior_fabric_env = os.environ.pop("REPRO_FABRIC_WORKERS", None)
     os.environ["REPRO_STORE"] = "0"
     try:
         report = {
@@ -548,11 +634,13 @@ def campaign_throughput(parallel_jobs: int | None = None,
             report["phase_attribution"] = run_phase_attribution_phase(config)
             report["fault_tolerance"] = run_fault_tolerance_phase(
                 config, workloads)
+            report["fabric"] = run_fabric_phase(config, workloads)
         report["store"] = run_store_phase(config, workloads, store_dir)
         verdicts = [report["store"]["results_identical"]]
         if not store_only:
             verdicts.append(report["batch"]["results_identical"])
             verdicts.append(report["fault_tolerance"]["results_identical"])
+            verdicts.append(report["fabric"]["results_identical"])
             if report["parallel"] is not None:
                 verdicts.append(report["parallel_results_identical"])
         report["results_identical"] = all(verdicts)
@@ -563,6 +651,8 @@ def campaign_throughput(parallel_jobs: int | None = None,
             os.environ["REPRO_STORE"] = prior_store_env
         if prior_batch_env is not None:
             os.environ["REPRO_BATCH"] = prior_batch_env
+        if prior_fabric_env is not None:
+            os.environ["REPRO_FABRIC_WORKERS"] = prior_fabric_env
     return report
 
 
@@ -615,6 +705,14 @@ def test_campaign_throughput(once):
     assert faults["pool_breaks"] >= 1, "no worker death actually landed"
     assert faults["chaos_sims_per_sec"] > 0
     assert "single_core_note" in faults  # negative overhead stays flagged
+    fabric = report["fabric"]
+    assert fabric["results_identical"], "fabric campaign diverged"
+    assert fabric["methodology"] == METHODOLOGY
+    assert fabric["reps"] == COMPARE_REPS
+    assert fabric["sims_per_sec"] > 0
+    assert fabric["leases_issued"] >= 1, "no worker actually leased"
+    assert fabric["worker_deaths"] == 0  # no chaos plan in this phase
+    assert fabric["degradations"] == 0, "fabric fell back to in-process"
 
 
 def test_regression_guard():
@@ -654,13 +752,12 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema v6 (over v5: adds the batch phase, per-phase methodology +
-    rep counts, explicit batch widths, and a nullable jobs=N side with
-    the skip reason recorded — a single-core host's pooled numbers were
-    an anti-measurement, see ``run_engine_phase``).  Enough for a
-    dashboard to plot every trajectory across PRs and to tell an engine
-    regression from a cache, generator, attribution, batching, or
-    recovery-path regression, without re-parsing the full report.
+    Schema v7 (over v6: adds the fabric phase — sequential vs the
+    lease-based multi-process campaign fabric, with lease-churn
+    counters).  Enough for a dashboard to plot every trajectory across
+    PRs and to tell an engine regression from a cache, generator,
+    attribution, batching, recovery-path, or coordination-layer
+    regression, without re-parsing the full report.
     """
     sequential = report["sequential"]
     parallel = report["parallel"]
@@ -669,8 +766,9 @@ def bench_record(report: dict) -> dict:
     generated = report["generated"]
     attribution = report["phase_attribution"]
     faults = report["fault_tolerance"]
+    fabric = report["fabric"]
     return {
-        "schema": "bench_throughput/v6",
+        "schema": "bench_throughput/v7",
         "commit": git_commit(),
         "methodology": METHODOLOGY,
         "jobs": {"sequential": 1,
@@ -759,6 +857,21 @@ def bench_record(report: dict) -> dict:
             "single_core_note": faults["single_core_note"],
             "results_identical": faults["results_identical"],
         },
+        "fabric": {
+            "simulations": fabric["simulations"],
+            "workers": fabric["workers"],
+            "reps": fabric["reps"],
+            "sequential_wall_s": fabric["sequential_wall_s"],
+            "fabric_wall_s": fabric["fabric_wall_s"],
+            "sequential_sims_per_sec": fabric["sequential_sims_per_sec"],
+            "sims_per_sec": fabric["sims_per_sec"],
+            "speedup": fabric["speedup"],
+            "leases_issued": fabric["leases_issued"],
+            "leases_reclaimed": fabric["leases_reclaimed"],
+            "worker_deaths": fabric["worker_deaths"],
+            "degradations": fabric["degradations"],
+            "results_identical": fabric["results_identical"],
+        },
         "results_identical": report["results_identical"],
     }
 
@@ -772,6 +885,7 @@ GUARD_METRICS = (
     "batch.batched_sims_per_sec",
     "generated.sims_per_sec",
     "store.warm_speedup",
+    "fabric.sims_per_sec",
 )
 GUARD_THRESHOLD = 0.20
 

@@ -27,7 +27,14 @@ executes them through one engine that
   sequential execution, incremental store flush (crash-resume for
   free), corrupt-record quarantine, and a deterministic chaos harness
   (``REPRO_FAULTS``) that proves all of it — with every incident
-  tallied in a :class:`~repro.exec.report.CampaignReport`.
+  tallied in a :class:`~repro.exec.report.CampaignReport`;
+* **distributes** (:mod:`.fabric` + :mod:`.worker`): a lease-based
+  multi-worker campaign fabric (``REPRO_FABRIC_WORKERS`` / ``--fabric``)
+  where independent worker processes lease fingerprinted jobs from a
+  durable on-disk ledger with TTL + heartbeat renewal, complete them
+  idempotently through the store, and survive worker SIGKILLs, torn
+  lease writes, clock skew, and coordinator crashes with crash-safe
+  resume (``repro campaign submit|status|join``, ``repro worker``).
 """
 
 from .cache import RESULT_CACHE, TRACE_CACHE, ResultCache, TraceCache
@@ -35,8 +42,19 @@ from .engine import (
     RetryExhaustedError,
     RetryPolicy,
     default_jobs,
+    fabric_workers,
     parallel_map,
     run_jobs,
+)
+from .fabric import (
+    FabricJobError,
+    Ledger,
+    campaign_fingerprint,
+    find_ledger,
+    heartbeat_interval,
+    lease_ttl,
+    list_ledgers,
+    run_jobs_fabric,
 )
 from .faults import (
     FaultInjector,
@@ -57,12 +75,24 @@ from .store import (
     resolve_store,
     store_enabled,
 )
+from .worker import FabricWorker, compute_with_retries
 
 __all__ = [
     "SimJob",
     "run_jobs",
+    "run_jobs_fabric",
     "parallel_map",
     "default_jobs",
+    "fabric_workers",
+    "Ledger",
+    "FabricWorker",
+    "FabricJobError",
+    "campaign_fingerprint",
+    "compute_with_retries",
+    "find_ledger",
+    "list_ledgers",
+    "lease_ttl",
+    "heartbeat_interval",
     "RetryPolicy",
     "RetryExhaustedError",
     "CampaignReport",

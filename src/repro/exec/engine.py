@@ -108,6 +108,23 @@ def batch_width() -> int:
     return max(0, width)
 
 
+def fabric_workers() -> int:
+    """``REPRO_FABRIC_WORKERS``: lease-fabric worker count (0 = off).
+
+    The CLI's ``--fabric N`` sets it; pool and fabric worker processes
+    pin it to 0 so execution never nests a fabric inside a worker.
+    """
+    env = os.environ.get("REPRO_FABRIC_WORKERS")
+    if not env:
+        return 0
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_FABRIC_WORKERS must be an integer, got {env!r}"
+        ) from None
+
+
 class RetryExhaustedError(RuntimeError):
     """A job failed every allowed attempt; carries its identity."""
 
@@ -171,8 +188,10 @@ def _backoff(policy: RetryPolicy, attempt: int) -> float:
 
 
 def _worker_init() -> None:
-    """Pool workers run their own jobs sequentially (no nested pools)."""
+    """Pool workers run their own jobs sequentially (no nested pools,
+    and never a nested fabric)."""
     os.environ["REPRO_JOBS"] = "1"
+    os.environ["REPRO_FABRIC_WORKERS"] = "0"
     mark_worker_process()
 
 
@@ -291,6 +310,12 @@ def _run_tasks_sequential(tasks, policy: RetryPolicy,
                 report.retries += 1
                 time.sleep(_backoff(policy, task.attempts))
                 continue
+            except (KeyboardInterrupt, SystemExit):
+                # An interrupted cell is not a failed cell: let the
+                # interrupt surface (completed cells are already
+                # flushed) so a rerun resumes it instead of reporting
+                # a phantom job failure.
+                raise
             except BaseException as exc:
                 _fail(task, exc, "exception", failures, report)
                 break
@@ -398,6 +423,8 @@ def _one_pool_round(queue: deque, workers: int, policy: RetryPolicy,
                                    resubmit)
                 except CancelledError:  # pragma: no cover - defensive
                     requeue.append(task)
+                except (KeyboardInterrupt, SystemExit):
+                    raise  # interrupted, not failed — surface it
                 except BaseException as exc:
                     _fail(task, exc, "exception", failures, report)
                 else:
@@ -429,6 +456,8 @@ def _one_pool_round(queue: deque, workers: int, policy: RetryPolicy,
                     continue
                 except BrokenProcessPool:
                     pass
+                except (KeyboardInterrupt, SystemExit):
+                    raise  # interrupted, not failed — surface it
                 except BaseException as exc:
                     _fail(task, exc, "exception", failures, report)
                     continue
@@ -471,10 +500,56 @@ def _prewarm_traces(jobs) -> dict:
     return failed
 
 
+def _resolve_cached(jobs, memo: bool, disk,
+                    report: CampaignReport, results: list):
+    """The memo and disk tiers, shared by the pool and fabric paths.
+
+    Fills ``results`` in place for every cache hit and returns
+    ``(positions, fresh)``: the index positions of each fresh
+    fingerprint and the deduplicated jobs still needing compute.
+    """
+    positions: dict[str, list[int]] = {}
+    fresh: list = []
+    for i, job in enumerate(jobs):
+        key = job.fingerprint
+        if memo:
+            cached = RESULT_CACHE.get(key)
+            if cached is not None:
+                results[i] = cached
+                report.memo_hits += 1
+                continue
+        if key in positions:
+            positions[key].append(i)
+        else:
+            positions[key] = [i]
+            fresh.append(job)
+    if fresh and disk is not None:
+        # Batched disk tier: one lookup per fresh fingerprint, before
+        # any pool spins up.  Hits feed the RAM memo so the rest of the
+        # process never touches the disk for them again.
+        loaded = disk.get_results([job.fingerprint for job in fresh])
+        if loaded:
+            missing = []
+            for job in fresh:
+                key = job.fingerprint
+                result = loaded.get(key)
+                if result is None:
+                    missing.append(job)
+                    continue
+                report.store_hits += 1
+                if memo:
+                    RESULT_CACHE.put(key, result)
+                for i in positions[key]:
+                    results[i] = result
+            fresh = missing
+    return positions, fresh
+
+
 def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
              store=None, report: CampaignReport | None = None,
              strict: bool = True,
-             policy: RetryPolicy | None = None) -> list:
+             policy: RetryPolicy | None = None,
+             fabric=None) -> list:
     """Execute ``jobs`` (SimJobs); results in input order.
 
     Fingerprint-identical jobs execute once, whether the duplicate is in
@@ -510,9 +585,29 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
     all other jobs have completed and flushed.  ``strict=False``
     instead records failures in the report and leaves ``None`` in the
     failed slots, so one bad workload cannot abort a campaign.
+
+    ``fabric`` routes execution through the lease-based multi-worker
+    fabric (:func:`~repro.exec.fabric.run_jobs_fabric`): ``None``
+    consults ``REPRO_FABRIC_WORKERS`` (the CLI's ``--fabric`` sets it;
+    0/unset = off), an integer N spawns N fabric workers, ``True``
+    uses the fabric's default count, and ``False`` forces the
+    in-process path (the fabric's own degradation escape hatch).
     """
     from ..engine.batch import plan_batches
     from .store import resolve_store
+
+    if fabric is not False:
+        requested = fabric
+        if requested is None:
+            requested = fabric_workers() or None
+        if requested:
+            from .fabric import run_jobs_fabric
+
+            return run_jobs_fabric(
+                jobs,
+                workers=(None if requested is True else int(requested)),
+                memo=memo, store=store, report=report, strict=strict,
+                policy=policy)
 
     jobs = list(jobs)
     workers = workers if workers is not None else default_jobs()
@@ -521,40 +616,7 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
     disk = None if (store is None and not memo) else resolve_store(store)
     report.jobs += len(jobs)
     results: list = [None] * len(jobs)
-    positions: dict[str, list[int]] = {}
-    fresh: list = []
-    for i, job in enumerate(jobs):
-        key = job.fingerprint
-        if memo:
-            cached = RESULT_CACHE.get(key)
-            if cached is not None:
-                results[i] = cached
-                report.memo_hits += 1
-                continue
-        if key in positions:
-            positions[key].append(i)
-        else:
-            positions[key] = [i]
-            fresh.append(job)
-    if fresh and disk is not None:
-        # Batched disk tier: one lookup per fresh fingerprint, before
-        # any pool spins up.  Hits feed the RAM memo so the rest of the
-        # process never touches the disk for them again.
-        loaded = disk.get_results([job.fingerprint for job in fresh])
-        if loaded:
-            missing = []
-            for job in fresh:
-                key = job.fingerprint
-                result = loaded.get(key)
-                if result is None:
-                    missing.append(job)
-                    continue
-                report.store_hits += 1
-                if memo:
-                    RESULT_CACHE.put(key, result)
-                for i in positions[key]:
-                    results[i] = result
-            fresh = missing
+    positions, fresh = _resolve_cached(jobs, memo, disk, report, results)
 
     failures: dict[int, BaseException] = {}
     corrupt_before = disk.corrupt if disk is not None else 0

@@ -1,0 +1,781 @@
+"""Lease-based multi-worker campaign fabric with crash-safe recovery.
+
+``run_jobs`` fans a campaign over one process pool; this module promotes
+it to a *fabric*: independent worker processes that coordinate through a
+durable, file-based job ledger, with the content-addressed result store
+as the rendezvous.  Nothing in the protocol assumes the workers share a
+parent process — only a filesystem and a store — so the same semantics
+carry to multiple hosts over a shared directory; this module proves
+them on one host first.
+
+The ledger
+----------
+A campaign's ledger lives under ``<store root>/fabric/<campaign-fp>/``
+where ``campaign-fp`` is a sha256 over the sorted member-job
+fingerprints plus the store schema and engine version (the same job set
+always rendezvouses at the same ledger, so a killed coordinator's fresh
+process resumes the *same* campaign):
+
+* ``manifest.json`` — human-readable metadata (fingerprint list, total);
+* ``manifest.pkl``  — the pickled :class:`~repro.exec.job.SimJob` list,
+  written create-if-absent so concurrent coordinators agree;
+* ``leases/<fp>.json`` — one lease record per in-flight job:
+  ``{worker, pid, acquired, expires, generation}``;
+* ``done/<fp>.json`` — completion markers (the *result* lives in the
+  store, keyed by the job fingerprint as always);
+* ``failed/<fp>.json`` — permanent failures (after retries);
+* ``workers/<id>.json`` — per-worker lease/churn counters, flushed by
+  the worker so a coordinator can fold them into the
+  :class:`~repro.exec.report.CampaignReport` even after the worker
+  exits.
+
+Every write follows the store's discipline: same-directory temp file +
+atomic rename.  Lease *acquisition* of an unheld job additionally uses
+``os.link`` (create-if-absent), so two workers racing for a fresh job
+cannot both win.
+
+Leases, not locks
+-----------------
+A lease has a TTL (``REPRO_LEASE_TTL``) and is renewed by a heartbeat
+thread (``REPRO_HEARTBEAT``) while the worker simulates.  A worker that
+is SIGKILL'd mid-job stops renewing; once the lease expires any other
+worker *steals* it (bumping the generation) and the job is re-run — a
+crashed worker costs one TTL of latency, never a lost job.  The race
+this admits — a stalled-but-alive worker finishing a job whose lease
+was stolen — is benign by construction: completion writes the result
+through the content-addressed store, where a double-complete produces a
+payload-identical record (an idempotent no-op), and ``done/`` markers
+are last-writer-wins on identical content.  Correctness never depends
+on mutual exclusion, only on fingerprints; leases exist purely to keep
+duplicate work rare.
+
+The coordinator
+---------------
+:func:`run_jobs_fabric` resolves the RAM-memo and disk-store tiers
+exactly like ``run_jobs``, ledgers the rest, forks N local workers,
+supervises them (death detection, bounded respawn, graceful
+SIGTERM/SIGINT drain), and — when the fabric cannot start or every
+worker is lost — degrades to the PR 6 in-process path, which always
+terminates.  It is surfaced as ``repro campaign submit|status|join``,
+``repro worker``, and ``--fabric N`` (``REPRO_FABRIC_WORKERS``) on
+every figure/sweep/CLI campaign.
+
+Chaos: :mod:`repro.exec.faults` grows fabric fault kinds (torn lease
+writes, heartbeat stalls, clock-skewed TTLs, worker kills mid-lease);
+the contract stays the one every chaos test pins — results
+byte-identical to a fault-free sequential run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import shutil
+import signal
+import tempfile
+import time
+
+from .cache import RESULT_CACHE
+from .faults import active_injector
+from .fingerprint import fingerprint
+from .report import CampaignReport, JobFailure
+
+#: Ledger poll interval (coordinator supervision + idle worker rescan).
+POLL_INTERVAL = 0.05
+
+#: Worker deaths the coordinator replaces before abandoning the local
+#: worker fleet and draining the remainder in-process.
+RESPAWN_FACTOR = 2
+
+#: Per-worker lease counter names (ledger ``workers/<id>.json`` records;
+#: the coordinator folds them into the CampaignReport).
+LEASE_COUNTERS = ("leases_issued", "leases_expired", "leases_stolen",
+                  "leases_reclaimed")
+
+
+class FabricJobError(RuntimeError):
+    """A job failed permanently inside a fabric worker."""
+
+    def __init__(self, label: str, fp: str, kind: str, error: str) -> None:
+        super().__init__(f"fabric job {label} (fingerprint {fp[:16]}) "
+                         f"failed [{kind}]: {error}")
+        self.label = label
+        self.fingerprint = fp
+        self.kind = kind
+
+
+def lease_ttl() -> float:
+    """Lease time-to-live in seconds (``REPRO_LEASE_TTL``, default 30)."""
+    env = os.environ.get("REPRO_LEASE_TTL")
+    if env:
+        try:
+            ttl = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_LEASE_TTL must be a number, got {env!r}") from None
+        if ttl > 0:
+            return ttl
+    return 30.0
+
+
+def heartbeat_interval(ttl: float | None = None) -> float:
+    """Lease renewal period (``REPRO_HEARTBEAT``, default TTL/3)."""
+    ttl = ttl if ttl is not None else lease_ttl()
+    env = os.environ.get("REPRO_HEARTBEAT")
+    if env:
+        try:
+            beat = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_HEARTBEAT must be a number, got {env!r}") from None
+        if beat > 0:
+            return beat
+    return max(ttl / 3.0, 0.01)
+
+
+def campaign_fingerprint(fps) -> str:
+    """Identity of a job set: same jobs, same ledger, in any process.
+
+    Schema and engine version join in so a ledger can never mix records
+    with a store tree it does not match.
+    """
+    from .store import ENGINE_VERSION, STORE_SCHEMA
+
+    return fingerprint("campaign", sorted(set(fps)), STORE_SCHEMA,
+                       ENGINE_VERSION)
+
+
+# ----------------------------------------------------------------------
+# atomic file helpers (the store's tmp+rename discipline, plus
+# create-if-absent via link for mutual-exclusion claims)
+# ----------------------------------------------------------------------
+def _atomic_write(path: str, data: bytes) -> bool:
+    directory = os.path.dirname(path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            _discard(tmp)
+            raise
+    except OSError:
+        return False
+    return True
+
+
+def _atomic_create(path: str, data: bytes) -> bool:
+    """Write ``path`` only if absent; False when it already exists.
+
+    ``os.link`` of a fully-written temp file is atomic and fails with
+    EEXIST on a race — the claim discipline a shared directory needs.
+    """
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        _discard(tmp)
+
+
+def _discard(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _read_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# the ledger
+# ----------------------------------------------------------------------
+class Ledger:
+    """One campaign's durable coordination state on disk."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # -- paths ---------------------------------------------------------
+    def _dir(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def lease_path(self, fp: str) -> str:
+        return os.path.join(self._dir("leases"), fp + ".json")
+
+    def _marker_path(self, kind: str, fp: str) -> str:
+        return os.path.join(self._dir(kind), fp + ".json")
+
+    # -- creation / manifest -------------------------------------------
+    @classmethod
+    def create(cls, root: str, jobs) -> "Ledger":
+        """Create (or join) the ledger for ``jobs`` at ``root``.
+
+        Idempotent: the manifest is written create-if-absent, so a
+        resumed coordinator — or a concurrent one — reuses the existing
+        ledger and its done markers instead of restarting the campaign.
+        Raises ``OSError`` when the directory cannot be prepared (the
+        caller degrades to the in-process path).
+        """
+        ledger = cls(root)
+        os.makedirs(root, exist_ok=True)
+        for sub in ("leases", "done", "failed", "workers"):
+            os.makedirs(ledger._dir(sub), exist_ok=True)
+        pkl = os.path.join(root, "manifest.pkl")
+        if not os.path.exists(pkl):
+            _atomic_create(pkl, pickle.dumps(list(jobs)))
+        meta = os.path.join(root, "manifest.json")
+        if not os.path.exists(meta):
+            fps = [job.fingerprint for job in jobs]
+            _atomic_create(meta, json.dumps(
+                {"campaign": os.path.basename(root),
+                 "total": len(fps), "jobs": fps,
+                 "created": time.time()},
+                separators=(",", ":")).encode())
+        if not os.path.exists(pkl) or not os.path.exists(meta):
+            raise OSError(f"could not initialise ledger at {root}")
+        return ledger
+
+    def exists(self) -> bool:
+        return os.path.exists(os.path.join(self.root, "manifest.pkl"))
+
+    def meta(self) -> dict | None:
+        return _read_json(os.path.join(self.root, "manifest.json"))
+
+    def load_jobs(self) -> list:
+        with open(os.path.join(self.root, "manifest.pkl"), "rb") as handle:
+            return pickle.load(handle)
+
+    # -- leases --------------------------------------------------------
+    def read_lease(self, fp: str, now: float):
+        """``(record, state)`` with state in missing/held/expired/torn."""
+        path = self.lease_path(fp)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+            expires = float(record["expires"])
+            int(record["generation"])
+        except FileNotFoundError:
+            return None, "missing"
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn lease write (crash or injected): the job is
+            # unprotected and claimable.
+            return None, "torn"
+        return record, ("held" if expires > now else "expired")
+
+    def _write_lease(self, path: str, record: dict, *,
+                     create: bool) -> bool:
+        data = json.dumps(record, separators=(",", ":"))
+        injector = active_injector()
+        if injector is not None:
+            mangled = injector.mangle_lease(data, path)
+            if mangled is not None:
+                data = mangled
+        if create:
+            try:
+                return _atomic_create(path, data.encode())
+            except OSError:
+                return False
+        return _atomic_write(path, data.encode())
+
+    def try_claim(self, fp: str, worker: str, ttl: float, now: float,
+                  *, force: bool = False):
+        """Attempt to lease ``fp``; returns ``(lease, how)`` or (None, state).
+
+        ``how`` is ``"issued"`` (fresh claim via atomic create),
+        ``"stolen"`` (takeover of an expired lease, generation bumped),
+        or ``"reclaimed"`` (takeover of a torn/unreadable record).  A
+        steal uses plain atomic replace: two racing stealers may both
+        think they won, which costs duplicate idempotent work, never
+        correctness.  ``force`` takes even a held lease — only for a
+        coordinator drain whose every worker is known dead.
+        """
+        path = self.lease_path(fp)
+        current, state = self.read_lease(fp, now)
+        if state == "held" and not force:
+            return None, "held"
+        generation = (int(current["generation"]) + 1) if current else 0
+        lease = {"fingerprint": fp, "worker": worker, "pid": os.getpid(),
+                 "acquired": now, "expires": now + ttl,
+                 "generation": generation}
+        if state == "missing":
+            if not self._write_lease(path, lease, create=True):
+                return None, "held"  # lost the create race (or read-only)
+            return lease, "issued"
+        if not self._write_lease(path, lease, create=False):
+            return None, "held"
+        return lease, ("reclaimed" if state == "torn" else "stolen")
+
+    def renew(self, fp: str, lease: dict, ttl: float, now: float):
+        """Extend our lease; ``None`` when it was stolen from under us."""
+        current, state = self.read_lease(fp, now)
+        if current is not None and (
+                current["worker"] != lease["worker"]
+                or int(current["generation"]) != lease["generation"]):
+            return None
+        renewed = dict(lease, expires=now + ttl)
+        self._write_lease(self.lease_path(fp), renewed, create=False)
+        return renewed
+
+    def release(self, fp: str, lease: dict) -> None:
+        """Drop our lease (only if it is still ours)."""
+        current, _state = self.read_lease(fp, 0.0)
+        if current is None or (current["worker"] == lease["worker"]
+                               and int(current["generation"])
+                               == lease["generation"]):
+            _discard(self.lease_path(fp))
+
+    # -- completion markers --------------------------------------------
+    def mark_done(self, fp: str, worker: str) -> None:
+        _atomic_write(self._marker_path("done", fp), json.dumps(
+            {"fingerprint": fp, "worker": worker,
+             "completed": time.time()}, separators=(",", ":")).encode())
+
+    def mark_failed(self, fp: str, label: str, kind: str, error: str,
+                    worker: str) -> None:
+        _atomic_write(self._marker_path("failed", fp), json.dumps(
+            {"fingerprint": fp, "label": label, "kind": kind,
+             "error": error, "worker": worker},
+            separators=(",", ":")).encode())
+
+    def _marker_fingerprints(self, kind: str) -> set[str]:
+        try:
+            names = os.listdir(self._dir(kind))
+        except OSError:
+            return set()
+        return {name[:-5] for name in names if name.endswith(".json")}
+
+    def done_fingerprints(self) -> set[str]:
+        return self._marker_fingerprints("done")
+
+    def is_done(self, fp: str) -> bool:
+        return os.path.exists(self._marker_path("done", fp))
+
+    def failed_fingerprints(self) -> set[str]:
+        return self._marker_fingerprints("failed")
+
+    def failed_records(self) -> dict[str, dict]:
+        records = {}
+        for fp in self.failed_fingerprints():
+            record = _read_json(self._marker_path("failed", fp))
+            records[fp] = record if record is not None else {
+                "fingerprint": fp, "label": fp[:16], "kind": "unknown",
+                "error": "unreadable failure marker"}
+        return records
+
+    # -- worker stats --------------------------------------------------
+    def write_worker_stats(self, worker: str, stats: dict) -> None:
+        _atomic_write(os.path.join(self._dir("workers"), worker + ".json"),
+                      json.dumps(stats, separators=(",", ":")).encode())
+
+    def worker_stats(self) -> list[dict]:
+        stats = []
+        try:
+            names = sorted(os.listdir(self._dir("workers")))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            record = _read_json(os.path.join(self._dir("workers"), name))
+            if record is not None:
+                stats.append(record)
+        return stats
+
+    # -- status --------------------------------------------------------
+    def status(self, now: float | None = None) -> dict:
+        now = now if now is not None else time.time()
+        meta = self.meta() or {}
+        total = int(meta.get("total", 0))
+        done = self.done_fingerprints()
+        failed = self.failed_fingerprints() - done
+        held = expired = torn = 0
+        for fp in self._marker_fingerprints("leases"):
+            _record, state = self.read_lease(fp, now)
+            if state == "held":
+                held += 1
+            elif state == "expired":
+                expired += 1
+            elif state == "torn":
+                torn += 1
+        return {"campaign": meta.get("campaign",
+                                     os.path.basename(self.root)),
+                "total": total, "done": len(done), "failed": len(failed),
+                "remaining": max(0, total - len(done) - len(failed)),
+                "leases_held": held, "leases_expired": expired,
+                "leases_torn": torn,
+                "workers_seen": len(self.worker_stats())}
+
+    def destroy(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# ledger discovery (the `repro campaign` CLI)
+# ----------------------------------------------------------------------
+def fabric_root(store_root: str | None = None) -> str:
+    """Where ledgers live: ``<store root>/fabric``."""
+    if store_root is None:
+        from .store import cache_dir
+
+        store_root = os.path.abspath(cache_dir())
+    return os.path.join(store_root, "fabric")
+
+
+def ledger_for(jobs, store_root: str | None = None) -> Ledger:
+    """The (possibly not-yet-created) ledger for this job set."""
+    fps = [job.fingerprint for job in jobs]
+    return Ledger(os.path.join(fabric_root(store_root),
+                               campaign_fingerprint(fps)))
+
+
+def find_ledger(ref: str, store_root: str | None = None) -> Ledger | None:
+    """Resolve a campaign reference: a ledger path or a fp prefix."""
+    if os.path.isdir(ref) and Ledger(ref).exists():
+        return Ledger(ref)
+    root = fabric_root(store_root)
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return None
+    matches = [n for n in names if n.startswith(ref)]
+    if len(matches) == 1:
+        ledger = Ledger(os.path.join(root, matches[0]))
+        return ledger if ledger.exists() else None
+    return None
+
+
+def list_ledgers(store_root: str | None = None) -> list[Ledger]:
+    root = fabric_root(store_root)
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        return []
+    ledgers = []
+    for name in names:
+        ledger = Ledger(os.path.join(root, name))
+        if ledger.exists():
+            ledgers.append(ledger)
+    return ledgers
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+def _fold_worker_stats(ledger: Ledger, report: CampaignReport,
+                       already: dict[str, dict]) -> None:
+    """Fold per-worker lease counters into the report, delta-style.
+
+    ``already`` remembers what was folded per worker id, so calling this
+    repeatedly (supervision loop + final collection) never double-counts.
+    """
+    for stats in ledger.worker_stats():
+        worker = str(stats.get("worker", "?"))
+        previous = already.get(worker, {})
+        for name in LEASE_COUNTERS + ("attempts", "retries"):
+            value = int(stats.get(name, 0))
+            delta = value - int(previous.get(name, 0))
+            if delta > 0:
+                setattr(report, name, getattr(report, name) + delta)
+        already[worker] = stats
+
+
+def _spawn_worker(ledger: Ledger, store_root: str, index: int,
+                  ttl: float, beat: float):
+    """Fork one fabric worker process attached to ``ledger``."""
+    from .worker import worker_process_entry
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    proc = ctx.Process(target=worker_process_entry,
+                       args=(ledger.root, store_root, index, ttl, beat),
+                       daemon=False)
+    proc.start()
+    return proc
+
+
+def _drain_in_process(ledger: Ledger, disk, policy,
+                      report: CampaignReport) -> None:
+    """Coordinator-side fallback: finish the ledger without workers.
+
+    Runs a worker loop in this process with ``force=True`` (every
+    remaining holder is known dead, so leases are taken immediately) and
+    without marking the process as a pool worker — injected worker
+    deaths cannot fire here, so, exactly like the PR 6 degradation path,
+    this always terminates.
+    """
+    from .worker import FabricWorker
+
+    # The drain's attempts/retries/lease counters reach the report the
+    # same way every worker's do: via its ledger stats file.
+    report.degradations += 1
+    FabricWorker(ledger, f"drain-{os.getpid()}", store=disk,
+                 policy=policy, force=True).run()
+
+
+def run_jobs_fabric(jobs, *, workers: int | None = None, memo: bool = True,
+                    store=None, report: CampaignReport | None = None,
+                    strict: bool = True, policy=None) -> list:
+    """Execute ``jobs`` through the lease fabric; results in input order.
+
+    Same contract as :func:`~repro.exec.engine.run_jobs` (memo/store
+    tiers, ``strict``, report accounting) with execution delegated to N
+    leased worker processes coordinated through the on-disk ledger.
+    Degrades to the in-process engine when the fabric cannot start (no
+    store — the fabric needs its rendezvous — or an unwritable ledger
+    directory), and drains in-process when the entire worker fleet is
+    lost.  SIGINT/SIGTERM drain gracefully: workers finish their
+    current lease, everything completed stays flushed, and the
+    interrupt is re-raised for the caller to report.
+    """
+    from .engine import (
+        RetryPolicy,
+        _prewarm_traces,
+        _resolve_cached,
+        default_jobs,
+        fabric_workers,
+        run_jobs,
+    )
+    from .store import resolve_store
+
+    jobs = list(jobs)
+    report = report if report is not None else CampaignReport()
+    policy = policy if policy is not None else RetryPolicy.from_env()
+    if workers is None:
+        workers = fabric_workers() or min(2, default_jobs())
+    workers = max(1, int(workers))
+    disk = resolve_store(store)
+    if disk is None:
+        # No rendezvous: the fabric cannot coordinate.  Degrade to the
+        # fault-tolerant in-process engine (PR 6 path) and say so.
+        report.degradations += 1
+        return run_jobs(jobs, memo=memo, store=store, report=report,
+                        strict=strict, policy=policy, fabric=False)
+
+    report.jobs += len(jobs)
+    results: list = [None] * len(jobs)
+    failures: dict[int, BaseException] = {}
+    positions, fresh = _resolve_cached(jobs, memo, disk, report, results)
+    corrupt_before = disk.corrupt
+
+    def finish() -> list:
+        report.store_errors += disk.corrupt - corrupt_before
+        disk.flush_counters()
+        if failures and strict:
+            raise failures[min(failures)]
+        return results
+
+    if not fresh:
+        return finish()
+
+    # Trace failures are permanent and worker-independent: fail those
+    # jobs here; below they get durable ``failed/`` markers so no worker
+    # ever attempts them.
+    trace_failures = _prewarm_traces(fresh)
+    runnable = []
+    trace_failed = []
+    for job in fresh:
+        key = (job.workload, job.config.instructions)
+        if key in trace_failures:
+            for i in positions[job.fingerprint]:
+                failures.setdefault(i, trace_failures[key])
+            report.failures.append(JobFailure(
+                label=f"{job.model} on {getattr(job.workload, 'name', job.workload)}",
+                fingerprint=job.fingerprint, kind="trace",
+                error=str(trace_failures[key])))
+            trace_failed.append((job, trace_failures[key]))
+        else:
+            runnable.append(job)
+    if not runnable:
+        return finish()
+
+    # The campaign's identity is the FULL requested job set, not the
+    # post-tier remainder: a killed coordinator resumed in a fresh
+    # process resolves some cells from the store first, and must still
+    # rendezvous at the *same* ledger.  The manifest carries one job per
+    # distinct fingerprint; cells already settled by the memo/store
+    # tiers are seeded as done so workers skip straight to real work.
+    manifest = []
+    seen_fps: set[str] = set()
+    for job in jobs:
+        if job.fingerprint not in seen_fps:
+            seen_fps.add(job.fingerprint)
+            manifest.append(job)
+    try:
+        ledger = Ledger.create(ledger_for(manifest, disk.root).root,
+                               manifest)
+        fresh_fps = {job.fingerprint for job in fresh}
+        seeded: set[str] = set()
+        for job, result in zip(jobs, results):
+            fp = job.fingerprint
+            if fp in fresh_fps or fp in seeded or result is None:
+                continue
+            seeded.add(fp)
+            if not ledger.is_done(fp):
+                disk.put_result(fp, result)  # memo hits may not be on disk
+                ledger.mark_done(fp, "coordinator")
+        for job, exc in trace_failed:
+            ledger.mark_failed(
+                job.fingerprint,
+                f"{job.model} on {getattr(job.workload, 'name', job.workload)}",
+                "trace", str(exc), "coordinator")
+    except OSError:
+        report.degradations += 1
+        sub = CampaignReport()
+        sub_results = run_jobs(runnable, memo=memo, store=disk,
+                               report=sub, strict=False, policy=policy,
+                               fabric=False)
+        sub.jobs = 0  # these slots are already counted in this report
+        report.merge(sub)
+        failed_fps = {f.fingerprint: f for f in sub.failures}
+        for job, result in zip(runnable, sub_results):
+            fp = job.fingerprint
+            if result is not None:
+                for i in positions[fp]:
+                    results[i] = result
+            elif fp in failed_fps:
+                f = failed_fps[fp]
+                error = FabricJobError(f.label, fp, f.kind, f.error)
+                for i in positions[fp]:
+                    failures.setdefault(i, error)
+        return finish()
+
+    ttl = lease_ttl()
+    beat = heartbeat_interval(ttl)
+    folded: dict[str, dict] = {}
+    interrupted: BaseException | None = None
+    procs: list = []
+    spawned = 0
+    respawn_budget = max(workers * RESPAWN_FACTOR, 4)
+    try:
+        try:
+            for _ in range(workers):
+                procs.append(_spawn_worker(ledger, disk.root, spawned,
+                                           ttl, beat))
+                spawned += 1
+        except OSError:
+            pass  # partial fleet (or none): supervised below
+        if not procs:
+            _drain_in_process(ledger, disk, policy, report)
+        else:
+            while True:
+                status = ledger.status()
+                if status["remaining"] == 0:
+                    break
+                alive = []
+                for proc in procs:
+                    if proc.is_alive():
+                        alive.append(proc)
+                        continue
+                    if proc.exitcode not in (0, None):
+                        report.worker_deaths += 1
+                        if spawned - workers < respawn_budget:
+                            try:
+                                alive.append(_spawn_worker(
+                                    ledger, disk.root, spawned, ttl, beat))
+                                spawned += 1
+                            except OSError:
+                                pass
+                procs = alive
+                if not procs:
+                    if ledger.status()["remaining"] == 0:
+                        break
+                    _drain_in_process(ledger, disk, policy, report)
+                    break
+                time.sleep(POLL_INTERVAL)
+    except (KeyboardInterrupt, SystemExit) as exc:
+        interrupted = exc
+    finally:
+        # Graceful drain: SIGTERM lets each worker finish (and flush)
+        # its current lease before exiting; stragglers are killed.
+        for proc in procs:
+            if proc.is_alive():
+                try:
+                    os.kill(proc.pid, signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + (60.0 if interrupted is None else 10.0)
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+                proc.join()
+        _fold_worker_stats(ledger, report, folded)
+
+    # Collect: completed results come from the store; markers say which
+    # jobs failed permanently; anything else (torn store record, store
+    # write that never landed) is recomputed here — the same in-process
+    # retry loop the workers use, so injected faults still converge.
+    failed = ledger.failed_records()
+    loaded = disk.get_results([job.fingerprint for job in runnable
+                               if job.fingerprint not in failed])
+    incomplete = 0
+    for job in runnable:
+        fp = job.fingerprint
+        if fp in failed:
+            record = failed[fp]
+            error = FabricJobError(record.get("label", fp[:16]), fp,
+                                   record.get("kind", "unknown"),
+                                   record.get("error", ""))
+            for i in positions[fp]:
+                failures.setdefault(i, error)
+            report.failures.append(JobFailure(
+                label=record.get("label", fp[:16]), fingerprint=fp,
+                kind=record.get("kind", "unknown"),
+                error=record.get("error", "")))
+            continue
+        result = loaded.get(fp)
+        if result is None:
+            if interrupted is not None:
+                incomplete += 1
+                continue  # a drained interrupt leaves unfinished cells
+            from .worker import compute_with_retries
+
+            try:
+                result = compute_with_retries(job, policy, report)
+            except BaseException as exc:
+                for i in positions[fp]:
+                    failures.setdefault(i, exc)
+                report.failures.append(JobFailure(
+                    label=f"{job.model} on {getattr(job.workload, 'name', job.workload)}",
+                    fingerprint=fp, kind="exception", error=str(exc)))
+                continue
+            disk.put_result(fp, result)
+            ledger.mark_done(fp, "coordinator")
+        report.computed += 1
+        if memo:
+            RESULT_CACHE.put(fp, result)
+        for i in positions[fp]:
+            results[i] = result
+
+    if interrupted is None and not failed and incomplete == 0 \
+            and ledger.done_fingerprints() >= {job.fingerprint
+                                               for job in runnable}:
+        # Fully drained and healthy: the ledger is scaffolding, results
+        # live in the store.  Failed campaigns keep theirs for
+        # post-mortem (`repro campaign status`).
+        ledger.destroy()
+    try:
+        return finish()
+    finally:
+        if interrupted is not None:
+            raise interrupted

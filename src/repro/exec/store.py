@@ -442,24 +442,80 @@ class ResultStore:
     def _counters_path(self) -> str:
         return os.path.join(self.root, "counters.json")
 
+    def _counters_lock_path(self) -> str:
+        return self._counters_path() + ".lock"
+
+    #: Lock acquisition: 50 tries x 10 ms covers any realistic flush
+    #: (a flush holds the lock for one read + one write); a lock older
+    #: than the stale cutoff belongs to a dead process and is broken.
+    _LOCK_TRIES = 50
+    _LOCK_RETRY_SECONDS = 0.01
+    _LOCK_STALE_SECONDS = 5.0
+
+    def _acquire_counters_lock(self) -> bool:
+        """Create the lock file exclusively, with bounded retry.
+
+        ``O_CREAT | O_EXCL`` is the atomic claim; a holder that died
+        without unlinking (SIGKILL mid-flush) is detected by the lock's
+        age and broken, so one crashed writer can never wedge every
+        later flush.
+        """
+        path = self._counters_lock_path()
+        try:
+            # A store that has never written is rootless; ENOENT from the
+            # claim would read as "unwritable" and skip the lock.
+            os.makedirs(self.root, exist_ok=True)
+        except OSError:
+            return False
+        deadline = (time.monotonic()
+                    + self._LOCK_TRIES * self._LOCK_RETRY_SECONDS)
+        while True:
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                return True
+            except FileExistsError:
+                try:
+                    if (time.time() - os.path.getmtime(path)
+                            > self._LOCK_STALE_SECONDS):
+                        self._discard(path)
+                        continue
+                except OSError:
+                    continue  # holder just released: retry immediately
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(self._LOCK_RETRY_SECONDS)
+            except OSError:
+                return False  # unwritable root: caller falls back
+
     def flush_counters(self) -> None:
         """Fold this session's counter deltas into ``counters.json``.
 
-        Best-effort and racy by design (concurrent flushes may drop
-        increments): the lifetime numbers feed ``repro cache stats``
-        diagnostics, not correctness.
+        Read-merge-rename under an exclusive lock file, so concurrent
+        flushes (pooled workers, fabric workers, parallel CLI runs over
+        one store) serialise instead of overwriting each other's
+        increments.  If the lock cannot be had within the bounded retry
+        (contention storm, unwritable root, stale-break failure), fall
+        back to the old best-effort unlocked merge — the lifetime
+        numbers feed ``repro cache stats`` diagnostics, and a possibly
+        dropped increment beats a lost flush or a wedged campaign.
         """
         deltas = {name: getattr(self, name) - self._flushed[name]
                   for name in self._flushed}
         if not any(deltas.values()):
             return
-        totals = self.read_counters()
-        for name, delta in deltas.items():
-            totals[name] = totals.get(name, 0) + delta
-        if not self._atomic_write_json(self._counters_path(), totals):
-            return
-        for name in self._flushed:
-            self._flushed[name] = getattr(self, name)
+        locked = self._acquire_counters_lock()
+        try:
+            totals = self.read_counters()
+            for name, delta in deltas.items():
+                totals[name] = totals.get(name, 0) + delta
+            if not self._atomic_write_json(self._counters_path(), totals):
+                return
+            for name in self._flushed:
+                self._flushed[name] = getattr(self, name)
+        finally:
+            if locked:
+                self._discard(self._counters_lock_path())
 
     def read_counters(self) -> dict:
         try:
@@ -531,6 +587,48 @@ class ResultStore:
             "stale": stale,
             "lifetime": self.read_counters(),
         }
+
+    def verify(self) -> dict:
+        """Offline integrity scan of every current-version record.
+
+        Reads each record through the same decode path campaigns use,
+        so anything a campaign would reject — torn JSON, wrong
+        fingerprint, shape drift — is quarantined *now* instead of at
+        its next (possibly mid-fabric) lookup.  The fabric's rendezvous
+        store gets its health check without running a single job.
+
+        The session hit/miss counters are restored afterwards: an audit
+        is not campaign traffic, and must not inflate the lifetime
+        numbers ``repro cache stats`` reports.  The ``corrupt`` /
+        ``quarantined`` counters keep their deltas — those events are
+        real.
+        """
+        readers = {"results": self.get_result,
+                   "warm": self.get_warm,
+                   "scenarios": lambda fp: self.get_json("scenarios", fp)}
+        hits_before, misses_before = self.hits, self.misses
+        sections = {name: {"ok": 0, "quarantined": 0} for name in _SECTIONS}
+        try:
+            for section, path in list(self._iter_record_paths(
+                    self.version_dir)):
+                fp = os.path.basename(path)[:-5]
+                corrupt_before = self.corrupt
+                value = readers[section](fp)
+                if value is not None:
+                    sections[section]["ok"] += 1
+                elif self.corrupt > corrupt_before:
+                    sections[section]["quarantined"] += 1
+                # else: the record vanished mid-scan (concurrent gc/
+                # clear) — nothing to verify, nothing to count.
+        finally:
+            self.hits, self.misses = hits_before, misses_before
+        return {"root": os.path.abspath(self.root),
+                "schema": self.schema,
+                "engine": self.engine_version,
+                "sections": sections,
+                "ok": sum(s["ok"] for s in sections.values()),
+                "quarantined": sum(s["quarantined"]
+                                   for s in sections.values())}
 
     def clear(self) -> int:
         """Delete every record (all schemas/engines); removed file count.

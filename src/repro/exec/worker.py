@@ -1,0 +1,279 @@
+"""The fabric worker: lease, heartbeat, simulate, flush, repeat.
+
+A :class:`FabricWorker` is one agent draining one campaign ledger
+(:mod:`repro.exec.fabric`).  Its loop is deliberately stateless between
+iterations — every decision re-derives from the ledger and the store —
+so any number of workers can run it concurrently, join late, die
+without notice, or resume after a crash, and the campaign still
+converges:
+
+1. scan the manifest (rotated by worker index, so a fleet spreads out
+   instead of stampeding the same job) for a fingerprint that is
+   neither done nor failed;
+2. lease it — a fresh claim, a steal of an expired lease, or a reclaim
+   of a torn one;
+3. while simulating, renew the lease from a heartbeat thread; a stall
+   (injected or real) lets the lease expire and another worker steal
+   the job, which is safe because
+4. completion is idempotent: the result is written through the
+   content-addressed store (same fingerprint → payload-identical
+   record), then a ``done/`` marker is dropped and the lease released
+   (only if still ours).
+
+Before computing, the worker checks the store: a record that is already
+present (a stolen lease's first owner finished after all, or a crashed
+worker died between its store write and its ``done`` marker) is adopted
+rather than recomputed.
+
+``worker_process_entry`` is the fork target ``run_jobs_fabric`` spawns
+(also reachable as ``repro worker --ledger ...``): it pins the child to
+sequential in-process execution (no nested pools, no nested fabrics),
+marks it as a worker so injected worker deaths may fire, and converts
+SIGTERM/SIGINT into a graceful "finish the current lease, flush, exit".
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from .faults import InjectedFault, active_injector, mark_worker_process
+from .report import CampaignReport
+
+#: Idle rescan interval when every remaining job is leased elsewhere.
+IDLE_SLEEP = 0.05
+
+
+def compute_with_retries(job, policy, report: CampaignReport | None = None):
+    """Run one SimJob in-process with the engine's bounded retry loop.
+
+    Retryable failures (injected chaos faults) back off and re-roll, at
+    most ``policy.max_attempts`` times, then raise
+    :class:`~repro.exec.engine.RetryExhaustedError`; anything else
+    propagates immediately.  Used by fabric workers and by the
+    coordinator's collection pass, so a chaos plan converges identically
+    wherever the attempt happens to run.
+    """
+    from .engine import RetryExhaustedError, _backoff, _job_label
+
+    fp = job.fingerprint
+    attempts = 0
+    while True:
+        attempts += 1
+        if report is not None:
+            report.attempts += 1
+        try:
+            injector = active_injector()
+            if injector is not None:
+                injector.on_job_attempt(fp, attempts)
+            return job.run()
+        except InjectedFault as exc:
+            if attempts >= policy.max_attempts:
+                raise RetryExhaustedError(_job_label(job), fp, attempts,
+                                          exc) from exc
+            if report is not None:
+                report.retries += 1
+            time.sleep(_backoff(policy, attempts))
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease on a period until stopped (or the lease is lost).
+
+    An injected ``heartbeat_stall`` skips renewals; once the lease is
+    observed under new ownership the thread sets ``lost`` and exits —
+    the worker still finishes its (idempotent) job, it just will not
+    touch the stolen lease again.
+    """
+
+    def __init__(self, worker: "FabricWorker", fp: str, lease: dict) -> None:
+        super().__init__(daemon=True)
+        self.worker = worker
+        self.fp = fp
+        self.lease = lease
+        self.lost = threading.Event()
+        self._done = threading.Event()
+
+    def run(self) -> None:
+        ordinal = 0
+        lease = self.lease
+        while not self._done.wait(self.worker.heartbeat):
+            ordinal += 1
+            injector = active_injector()
+            if injector is not None and injector.stall_heartbeat(
+                    self.worker.fault_id, self.fp, ordinal):
+                continue  # stalled: no renewal this beat
+            renewed = self.worker.ledger.renew(self.fp, lease,
+                                               self.worker.ttl,
+                                               self.worker.now())
+            if renewed is None:
+                self.lost.set()
+                return
+            lease = renewed
+
+    def stop(self) -> None:
+        self._done.set()
+        self.join()
+
+
+class FabricWorker:
+    """One lease-driven drain loop over a campaign ledger."""
+
+    def __init__(self, ledger, worker_id: str, *, store=None,
+                 ttl: float | None = None, heartbeat: float | None = None,
+                 policy=None, index: int = 0, force: bool = False) -> None:
+        from .fabric import heartbeat_interval, lease_ttl
+        from .engine import RetryPolicy
+        from .store import resolve_store
+
+        self.ledger = ledger
+        self.worker_id = worker_id
+        #: Stable identity for fault rolls (no pid, so a chaos plan
+        #: targets "worker 2" deterministically across runs and respawns
+        #: of the same slot).
+        self.fault_id = f"w{index}"
+        self.index = index
+        self.store = resolve_store(store)
+        if self.store is None:
+            raise ValueError("a fabric worker needs a result store")
+        self.ttl = ttl if ttl is not None else lease_ttl()
+        self.heartbeat = (heartbeat if heartbeat is not None
+                          else heartbeat_interval(self.ttl))
+        self.policy = policy if policy is not None else RetryPolicy.from_env()
+        self.force = force
+        self.report = CampaignReport()
+        self._stop = threading.Event()
+        injector = active_injector()
+        #: Injected clock skew shifts this worker's notion of "now":
+        #: it writes leases that look stale to others (stolen early)
+        #: and sees fresh leases as expired (steals early) — TTL math
+        #: under disagreeing clocks, the multi-host failure mode.
+        self.skew = (injector.clock_skew_for(self.fault_id)
+                     if injector is not None else 0.0)
+        self.stats = {"worker": worker_id, "pid": os.getpid(),
+                      "completed": 0, "adopted": 0, "failed": 0,
+                      "attempts": 0, "retries": 0,
+                      "leases_issued": 0, "leases_expired": 0,
+                      "leases_stolen": 0, "leases_reclaimed": 0,
+                      "leases_lost": 0}
+
+    def now(self) -> float:
+        return time.time() + self.skew
+
+    def stop(self) -> None:
+        """Request a graceful exit after the current lease completes."""
+        self._stop.set()
+
+    def flush_stats(self) -> None:
+        self.stats["attempts"] = self.report.attempts
+        self.stats["retries"] = self.report.retries
+        self.ledger.write_worker_stats(self.worker_id, self.stats)
+
+    # -- the drain loop -------------------------------------------------
+    def run(self) -> None:
+        """Drain the ledger: loop until nothing is left (or stopped)."""
+        jobs = {job.fingerprint: job for job in self.ledger.load_jobs()}
+        order = sorted(jobs)
+        if order and self.index:
+            pivot = self.index % len(order)
+            order = order[pivot:] + order[:pivot]
+        try:
+            while not self._stop.is_set():
+                settled = (self.ledger.done_fingerprints()
+                           | self.ledger.failed_fingerprints())
+                remaining = [fp for fp in order if fp not in settled]
+                if not remaining:
+                    break
+                progress = False
+                for fp in remaining:
+                    if self._stop.is_set():
+                        break
+                    if self.ledger.is_done(fp):
+                        continue  # settled since this scan started
+                    lease, how = self.ledger.try_claim(
+                        fp, self.worker_id, self.ttl, self.now(),
+                        force=self.force)
+                    if lease is None:
+                        continue
+                    if how == "stolen":
+                        self.stats["leases_expired"] += 1
+                        self.stats["leases_stolen"] += 1
+                    elif how == "reclaimed":
+                        self.stats["leases_reclaimed"] += 1
+                    else:
+                        self.stats["leases_issued"] += 1
+                    progress = True
+                    self._execute(jobs[fp], lease)
+                    self.flush_stats()
+                if not progress and not self._stop.is_set():
+                    # Everything left is leased to live workers: wait
+                    # for completions (or expiries) and rescan.
+                    time.sleep(IDLE_SLEEP)
+        finally:
+            self.flush_stats()
+            self.store.flush_counters()
+
+    def _execute(self, job, lease) -> None:
+        fp = job.fingerprint
+        beat = _Heartbeat(self, fp, lease)
+        beat.start()
+        try:
+            # Adopt an existing record first: a stolen lease's first
+            # owner may have finished, or a crashed worker may have died
+            # between its store write and its done marker.
+            result = self.store.get_result(fp)
+            if result is not None:
+                self.stats["adopted"] += 1
+            else:
+                try:
+                    result = compute_with_retries(job, self.policy,
+                                                  self.report)
+                except BaseException as exc:
+                    from .engine import RetryExhaustedError, _job_label
+
+                    kind = ("retries-exhausted"
+                            if isinstance(exc, RetryExhaustedError)
+                            else "exception")
+                    self.stats["failed"] += 1
+                    self.ledger.mark_failed(fp, _job_label(job), kind,
+                                            str(exc), self.worker_id)
+                    return
+                self.store.put_result(fp, result)
+                self.stats["completed"] += 1
+            self.ledger.mark_done(fp, self.worker_id)
+        finally:
+            beat.stop()
+            if beat.lost.is_set():
+                self.stats["leases_lost"] += 1
+            else:
+                self.ledger.release(fp, lease)
+
+
+def worker_process_entry(ledger_root: str, store_root: str, index: int,
+                         ttl: float, heartbeat: float) -> None:
+    """Fork/exec target for one fabric worker process.
+
+    Pins the child to sequential in-process execution (``REPRO_JOBS=1``,
+    ``REPRO_FABRIC_WORKERS=0`` — no nested pools or fabrics), marks it
+    as a worker so injected worker deaths may fire here, and maps
+    SIGTERM/SIGINT to a graceful stop: finish the current lease, flush
+    stats and store counters, exit 0.
+    """
+    from .fabric import Ledger
+    from .store import ResultStore
+
+    os.environ["REPRO_JOBS"] = "1"
+    os.environ["REPRO_FABRIC_WORKERS"] = "0"
+    mark_worker_process()
+    ledger = Ledger(ledger_root)
+    worker = FabricWorker(ledger, f"w{index}-{os.getpid()}",
+                          store=ResultStore(store_root), ttl=ttl,
+                          heartbeat=heartbeat, index=index)
+
+    def _graceful(_signum, _frame) -> None:
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    worker.run()

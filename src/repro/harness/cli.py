@@ -46,6 +46,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import os
+import signal
 import sys
 
 from ..workloads import ALL_KERNELS
@@ -98,6 +99,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="chaos harness: inject deterministic faults, "
                              "e.g. 'seed=7,worker_death=0.1' "
                              "(default: REPRO_FAULTS, off)")
+    parser.add_argument("--fabric", type=int, default=None, metavar="N",
+                        help="run campaigns through the lease-based "
+                             "multi-worker fabric with N workers "
+                             "(default: REPRO_FABRIC_WORKERS, off)")
 
 
 def _apply_jobs(args) -> None:
@@ -124,17 +129,29 @@ def _apply_jobs(args) -> None:
         except ValueError as exc:
             raise SystemExit(f"--faults: {exc}") from None
         os.environ["REPRO_FAULTS"] = args.faults
+    if getattr(args, "fabric", None) is not None:
+        os.environ["REPRO_FABRIC_WORKERS"] = str(max(0, args.fabric))
+
+
+#: Reports for campaigns still in flight: an interrupt (SIGINT/SIGTERM)
+#: prints these before exiting, so a cancelled run still says what it
+#: finished and flushed instead of dying with a bare traceback.
+_PENDING_REPORTS: list = []
 
 
 def _report():
     from ..exec import CampaignReport
 
-    return CampaignReport()
+    report = CampaignReport()
+    _PENDING_REPORTS.append(report)
+    return report
 
 
 def _emit_report(report) -> None:
     # Campaign health goes to stderr (stdout stays parseable); a boring
     # campaign with zero incidents prints nothing.
+    if report in _PENDING_REPORTS:
+        _PENDING_REPORTS.remove(report)
     if report.incidents():
         print(report.summary(), file=sys.stderr)
         for failure in report.failures:
@@ -283,6 +300,22 @@ def cmd_cache(args) -> None:
               "(newest first; `--clear` deletes them):")
         for entry in entries:
             print(f"  {entry['name']}  {entry['bytes']} bytes")
+    elif args.action == "verify":
+        # Offline integrity audit: read every current-version record
+        # through the campaign decode path, quarantining anything torn
+        # or malformed now instead of mid-campaign — run it before
+        # pointing a worker fleet at a shared store.
+        info = store.verify()
+        print(f"Verified store: {info['root']} "
+              f"(schema v{info['schema']}, engine {info['engine']})")
+        for section, counts in info["sections"].items():
+            print(f"  {section:10s} {counts['ok']:6d} ok  "
+                  f"{counts['quarantined']:4d} quarantined")
+        print(f"  {'total':10s} {info['ok']:6d} ok  "
+              f"{info['quarantined']:4d} quarantined")
+        if info["quarantined"]:
+            print("  (`repro cache quarantine` inspects the damaged "
+                  "records; campaigns recompute them on demand)")
     elif args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} entries from {os.path.abspath(store.root)}")
@@ -293,6 +326,130 @@ def cmd_cache(args) -> None:
         print(f"gc: removed {removed['expired']} expired and "
               f"{removed['stale']} stale-version entries from "
               f"{os.path.abspath(store.root)}")
+
+
+def _campaign_store():
+    from ..exec.store import resolve_store
+
+    disk = resolve_store(None)
+    if disk is None:
+        raise SystemExit(
+            "the campaign fabric needs the disk store as its rendezvous "
+            "(REPRO_STORE=0 / --no-store disables it)")
+    return disk
+
+
+def _status_line(status: dict) -> str:
+    line = (f"{status['campaign'][:16]}  {status['done']}/{status['total']} "
+            f"done")
+    if status["failed"]:
+        line += f", {status['failed']} failed"
+    if status["leases_held"]:
+        line += f", {status['leases_held']} leased"
+    if status["leases_expired"] or status["leases_torn"]:
+        line += (f", {status['leases_expired'] + status['leases_torn']} "
+                 "reclaimable")
+    if status["workers_seen"]:
+        line += f", {status['workers_seen']} workers seen"
+    return line
+
+
+def cmd_campaign(args) -> None:
+    from ..exec.fabric import (
+        Ledger,
+        find_ledger,
+        ledger_for,
+        list_ledgers,
+        run_jobs_fabric,
+    )
+    from .experiment import suite_jobs
+
+    if args.action == "status":
+        _apply_jobs(args)
+        disk = _campaign_store()
+        ledgers = []
+        if args.campaign:
+            ledger = find_ledger(args.campaign, disk.root)
+            if ledger is None:
+                raise SystemExit(
+                    f"no campaign ledger matches {args.campaign!r} "
+                    f"under {disk.root}")
+            ledgers = [ledger]
+        else:
+            ledgers = list_ledgers(disk.root)
+        if not ledgers:
+            print(f"no campaign ledgers under {disk.root}")
+            return
+        for ledger in ledgers:
+            print(_status_line(ledger.status()))
+        return
+
+    config = _config(args)
+    disk = _campaign_store()
+    if args.action == "submit":
+        # Submit = durably ledger the grid without running it; workers
+        # (`repro worker --ledger ...`) and `campaign join` drain it.
+        workloads = _workloads(args) or list(ALL_KERNELS)
+        jobs = suite_jobs(MODELS, workloads, config)
+        ledger = Ledger.create(ledger_for(jobs, disk.root).root, jobs)
+        status = ledger.status()
+        print(f"campaign {status['campaign'][:16]}: {status['total']} jobs "
+              f"ledgered at {ledger.root}")
+        print(f"  drain it with `repro worker --ledger "
+              f"{status['campaign'][:16]}` (any number of processes)")
+        print(f"  or `repro campaign join --fabric N` "
+              "(coordinator + N workers)")
+        return
+
+    # join: run the coordinator over the submitted (or fresh) grid —
+    # the campaign fingerprint rendezvouses at the same ledger, so a
+    # killed coordinator's fresh process resumes, not restarts.
+    workloads = _workloads(args) or list(ALL_KERNELS)
+    jobs = suite_jobs(MODELS, workloads, config)
+    report = _report()
+    run_jobs_fabric(jobs, workers=args.fabric, store=disk, report=report,
+                    strict=False)
+    _emit_report(report)
+    done = report.memo_hits + report.store_hits + report.computed
+    print(f"campaign joined: {done}/{report.jobs} cells settled "
+          f"({report.computed} computed, {report.store_hits} from store)")
+    if report.failures:
+        raise SystemExit(1)
+
+
+def cmd_worker(args) -> None:
+    from ..exec.fabric import find_ledger
+    from ..exec.faults import mark_worker_process
+    from ..exec.worker import FabricWorker
+
+    _apply_jobs(args)
+    # A CLI worker is exactly the process `run_jobs_fabric` forks: pin
+    # it sequential (its parallelism is the fleet, not a nested pool)
+    # and let injected worker deaths target it like any other worker.
+    os.environ["REPRO_JOBS"] = "1"
+    os.environ["REPRO_FABRIC_WORKERS"] = "0"
+    mark_worker_process()
+    disk = _campaign_store()
+    ledger = find_ledger(args.ledger, disk.root)
+    if ledger is None:
+        raise SystemExit(
+            f"no campaign ledger matches {args.ledger!r} under {disk.root} "
+            "(`repro campaign status` lists them)")
+    worker = FabricWorker(ledger, f"cli{args.index}-{os.getpid()}",
+                          store=disk, index=args.index)
+
+    def _graceful(_signum, _frame) -> None:
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    worker.run()
+    stats = worker.stats
+    print(f"worker {worker.worker_id}: {stats['completed']} computed, "
+          f"{stats['adopted']} adopted, {stats['failed']} failed, "
+          f"{stats['leases_issued']} leases "
+          f"(+{stats['leases_stolen']} stolen, "
+          f"{stats['leases_reclaimed']} reclaimed)", file=sys.stderr)
 
 
 def cmd_wgen(args) -> None:
@@ -482,20 +639,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_wgen)
 
     p = sub.add_parser("cache", help="inspect / maintain the disk store")
-    p.add_argument("action", choices=("stats", "clear", "gc", "quarantine"))
+    p.add_argument("action",
+                   choices=("stats", "clear", "gc", "quarantine", "verify"))
     p.add_argument("--older-than", type=float, default=None, metavar="DAYS",
                    help="gc: delete records older than DAYS days "
                         "(stale-version records always go)")
     p.add_argument("--clear", action="store_true",
                    help="quarantine: delete the quarantined records")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("campaign",
+                       help="submit / inspect / drain fabric campaigns")
+    _add_common(p)
+    p.add_argument("action", choices=("submit", "status", "join"))
+    p.add_argument("campaign", nargs="?", default=None,
+                   help="status: a campaign fingerprint prefix or ledger "
+                        "path (default: all ledgers under the store)")
+    p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("worker",
+                       help="drain one campaign ledger as a fabric worker")
+    _add_common(p)
+    p.add_argument("--ledger", required=True,
+                   help="campaign fingerprint prefix or ledger path")
+    p.add_argument("--index", type=int, default=0,
+                   help="worker slot index (spreads the scan order and "
+                        "keys chaos faults; default 0)")
+    p.set_defaults(fn=cmd_worker)
     return parser
+
+
+def _sigterm_to_interrupt(_signum, _frame) -> None:
+    raise KeyboardInterrupt
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    args.fn(args)
-    return 0
+    try:
+        # SIGTERM drains like ^C: completed cells are already flushed
+        # incrementally, so all an interrupt should cost is the cells
+        # still in flight — and the user gets the report, not a
+        # traceback.
+        previous = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+    except ValueError:  # pragma: no cover - non-main thread
+        previous = None
+    try:
+        args.fn(args)
+        return 0
+    except KeyboardInterrupt:
+        print("campaign: interrupted — completed cells are flushed; "
+              "rerun the same command to resume", file=sys.stderr)
+        for report in _PENDING_REPORTS:
+            print(report.summary(), file=sys.stderr)
+            for failure in report.failures:
+                print(f"  failed: {failure}", file=sys.stderr)
+        _PENDING_REPORTS.clear()
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

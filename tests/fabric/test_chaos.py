@@ -1,0 +1,147 @@
+"""Chaos over the fabric: every lease fault, same bytes out.
+
+The chaos contract extends from the engine to the coordination layer:
+torn lease writes, stalled heartbeats, skewed clocks, and killed
+workers may cost duplicate (idempotent) work and lease churn, but the
+campaign's results must stay byte-identical to a fault-free sequential
+run.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.exec import (
+    CampaignReport,
+    FaultPlan,
+    ResultStore,
+    SimJob,
+    injected_faults,
+    run_jobs,
+    run_jobs_fabric,
+)
+from repro.exec.fabric import Ledger, ledger_for
+from repro.exec.store import result_to_payload
+from repro.exec.worker import FabricWorker
+from repro.harness.experiment import ExperimentConfig
+
+WORKLOADS = ("mesa_like", "gzip_like")
+MODELS = ("in-order", "runahead", "icfp")
+
+
+def _jobs(instructions=700):
+    cfg = ExperimentConfig(instructions=instructions)
+    return [SimJob(m, w, cfg) for w in WORKLOADS for m in MODELS]
+
+
+def _payloads(results):
+    return [json.dumps(result_to_payload(r), sort_keys=True)
+            for r in results]
+
+
+def _clean(jobs):
+    return run_jobs(jobs, workers=1, memo=False, store=False, fabric=False)
+
+
+def test_torn_lease_writes_are_reclaimed_not_fatal(tmp_path):
+    # Every lease write is torn: each record is unreadable, every reader
+    # treats the job as unprotected, and claims degrade to benign races
+    # resolved by idempotent completion.
+    jobs = _jobs(720)
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    with injected_faults(FaultPlan(seed=5, lease_torn=1.0)):
+        results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                                  report=report)
+    assert _payloads(results) == _payloads(clean)
+    assert report.ok()
+
+
+def test_in_thread_heartbeat_stall_expiry_steal(tmp_path):
+    # Two workers in threads over one ledger.  One job carries a lease
+    # from a "ghost" worker whose heartbeats stalled until the TTL ran
+    # out (planted expired, never renewed): a live worker must steal it.
+    # The live workers' own heartbeats are all swallowed too — with a
+    # tiny TTL their leases expire mid-compute as well, and the campaign
+    # must still converge on idempotent completion.
+    import time as _time
+
+    cfg = ExperimentConfig(instructions=740)
+    jobs = [SimJob(m, w, cfg) for w in WORKLOADS for m in MODELS]
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    ledger = Ledger.create(ledger_for(jobs, store.root).root, jobs)
+    ghost, how = ledger.try_claim(jobs[0].fingerprint, "ghost", ttl=0.001,
+                                  now=_time.time() - 60.0)
+    assert how == "issued" and ghost is not None
+    plan = FaultPlan(seed=9, heartbeat_stall=1.0,
+                     slow=1.0, slow_seconds=0.05)
+    with injected_faults(plan):
+        workers = [
+            FabricWorker(ledger, f"t{i}", store=store, ttl=0.02,
+                         heartbeat=0.005, index=i)
+            for i in range(2)]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads)
+    stolen = sum(w.stats["leases_stolen"] for w in workers)
+    assert stolen >= 1  # the ghost's expired lease was taken over
+    # The ghost's release (were it to wake) is now a generation-checked
+    # no-op, and the thief's completion settled the job exactly once.
+    ledger.release(jobs[0].fingerprint, ghost)
+    settled = sum(w.stats["completed"] + w.stats["adopted"]
+                  for w in workers)
+    assert settled >= len(jobs)
+    # Every job settled exactly once in the ledger, and the store's
+    # records decode to the clean sequential results.
+    assert ledger.done_fingerprints() == {j.fingerprint for j in jobs}
+    loaded = store.get_results([j.fingerprint for j in jobs])
+    assert _payloads([loaded[j.fingerprint] for j in jobs]) \
+        == _payloads(clean)
+    assert store.corrupt == 0
+
+
+def test_clock_skewed_worker_still_converges(tmp_path):
+    # One worker's clock runs fast: it writes leases that look stale to
+    # everyone else and steals fresh leases early.  Extra churn, same
+    # bytes.
+    jobs = _jobs(760)
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    with injected_faults(FaultPlan(seed=2, clock_skew=0.5,
+                                   clock_skew_seconds=5.0)):
+        results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                                  report=report)
+    assert _payloads(results) == _payloads(clean)
+    assert report.ok()
+
+
+@pytest.mark.slow
+def test_full_chaos_plan_fabric_campaign_is_byte_identical(tmp_path):
+    # The acceptance criterion: worker kills, lease expiries (stalled
+    # heartbeats + short TTL), and torn lease writes together, over a
+    # 2-worker fabric — byte-identical to the fault-free sequential run.
+    import os
+
+    jobs = _jobs(780)
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    os.environ["REPRO_FAULTS"] = ("seed=11,worker_death=0.15,"
+                                  "lease_torn=0.3,heartbeat_stall=0.5")
+    os.environ["REPRO_LEASE_TTL"] = "1.5"
+    try:
+        results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                                  report=report)
+    finally:
+        del os.environ["REPRO_FAULTS"]
+        del os.environ["REPRO_LEASE_TTL"]
+    assert _payloads(results) == _payloads(clean)
+    assert report.ok()
+    assert report.incidents() >= 1  # the plan was not a no-op

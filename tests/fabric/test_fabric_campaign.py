@@ -1,0 +1,225 @@
+"""Fabric campaigns: multi-process execution, crash-safe recovery.
+
+The contract inherited from the engine: results byte-identical to a
+clean sequential run, no matter how the work was scheduled — including
+across worker processes, worker SIGKILLs, and a SIGKILL'd coordinator
+resumed in a fresh process.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exec import (
+    CampaignReport,
+    ResultStore,
+    SimJob,
+    run_jobs,
+    run_jobs_fabric,
+)
+from repro.exec.fabric import Ledger, ledger_for
+from repro.exec.store import result_to_payload
+from repro.harness.experiment import ExperimentConfig
+
+WORKLOADS = ("mesa_like", "gzip_like")
+MODELS = ("in-order", "runahead", "icfp")
+
+
+def _jobs(instructions=500):
+    cfg = ExperimentConfig(instructions=instructions)
+    return [SimJob(m, w, cfg) for w in WORKLOADS for m in MODELS]
+
+
+def _payloads(results):
+    return [json.dumps(result_to_payload(r), sort_keys=True)
+            for r in results]
+
+
+def _clean(jobs):
+    return run_jobs(jobs, workers=1, memo=False, store=False, fabric=False)
+
+
+def test_two_worker_fabric_matches_sequential(tmp_path):
+    jobs = _jobs()
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                              report=report)
+    assert _payloads(results) == _payloads(clean)
+    assert report.jobs == len(jobs)
+    assert report.computed == len(jobs)
+    assert report.leases_issued >= 1  # the workers did the work
+    assert report.worker_deaths == 0
+    assert report.ok()
+    # A fully drained healthy campaign cleans up its ledger...
+    assert not ledger_for(jobs, store.root).exists()
+    # ...and its results are all in the store for the next process.
+    assert len(store.get_results([j.fingerprint for j in jobs])) == len(jobs)
+
+
+def test_run_jobs_fabric_arg_routes_through_the_fabric(tmp_path):
+    jobs = _jobs(520)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    results = run_jobs(jobs, memo=False, store=store, report=report,
+                       fabric=2)
+    assert _payloads(results) == _payloads(_clean(jobs))
+    assert report.leases_issued >= 1
+
+
+def test_fabric_env_knob_routes_campaigns(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FABRIC_WORKERS", "2")
+    jobs = _jobs(540)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    results = run_jobs(jobs, memo=False, store=store, report=report)
+    assert _payloads(results) == _payloads(_clean(jobs))
+    assert report.leases_issued >= 1
+
+
+def test_fabric_without_store_degrades_to_in_process(tmp_path):
+    # No disk store means no rendezvous: the fabric must fall back to
+    # the ordinary engine rather than fail or hang.
+    jobs = _jobs(560)
+    report = CampaignReport()
+    results = run_jobs_fabric(jobs, workers=2, memo=False, store=False,
+                              report=report)
+    assert _payloads(results) == _payloads(_clean(jobs))
+    assert report.degradations >= 1
+    assert report.leases_issued == 0
+
+
+def test_fabric_resumes_from_partially_flushed_store(tmp_path):
+    jobs = _jobs(580)
+    store = ResultStore(str(tmp_path / "store"))
+    # A prior (crashed) campaign flushed the first four cells.
+    run_jobs(jobs[:4], workers=1, memo=False, store=store, fabric=False)
+    report = CampaignReport()
+    results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                              report=report)
+    assert _payloads(results) == _payloads(_clean(jobs))
+    assert report.store_hits == 4
+    assert report.computed == len(jobs) - 4
+
+
+def test_fabric_memoizes_like_the_engine(tmp_path):
+    jobs = _jobs(600)
+    store = ResultStore(str(tmp_path / "store"))
+    first = run_jobs_fabric(jobs, workers=2, store=store)
+    report = CampaignReport()
+    second = run_jobs_fabric(jobs, workers=2, store=store, report=report)
+    assert _payloads(first) == _payloads(second)
+    assert report.memo_hits == len(jobs)  # RAM memo, zero fabric traffic
+    assert report.leases_issued == 0
+
+
+@pytest.mark.slow
+def test_sigkilled_worker_jobs_are_released_and_finished(tmp_path):
+    # A worker that dies without notice (the chaos plan's os._exit
+    # fires only in marked worker processes) must cost re-leased work,
+    # never lost work: the supervisor reaps it, respawns, and the
+    # campaign completes byte-identically.
+    jobs = _jobs(620)
+    clean = _clean(jobs)
+    store = ResultStore(str(tmp_path / "store"))
+    report = CampaignReport()
+    # Short TTL so a dead worker's lease frees fast; the fault plan is
+    # inherited through fork and fires only in the (marked) workers.
+    os.environ["REPRO_FAULTS"] = "seed=3,worker_death=0.25"
+    os.environ["REPRO_LEASE_TTL"] = "2"
+    try:
+        results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                                  report=report)
+    finally:
+        del os.environ["REPRO_FAULTS"]
+        del os.environ["REPRO_LEASE_TTL"]
+    assert _payloads(results) == _payloads(clean)
+    assert report.worker_deaths >= 1  # the plan drew blood
+    assert report.ok()
+
+
+_COORDINATOR = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.exec import run_jobs_fabric, ResultStore, SimJob
+from repro.harness.experiment import ExperimentConfig
+cfg = ExperimentConfig(instructions={instructions})
+jobs = [SimJob(m, w, cfg) for w in {workloads!r} for m in {models!r}]
+run_jobs_fabric(jobs, workers=2, memo=False,
+                store=ResultStore({root!r}))
+"""
+
+INSTRUCTIONS_KILL = 313  # unique budget: no other test shares fingerprints
+
+
+def _result_records(root):
+    return glob.glob(os.path.join(root, "v*", "*", "results", "*",
+                                  "*.json"))
+
+
+@pytest.mark.slow
+def test_sigkilled_coordinator_resumes_recomputing_only_unflushed_cells(
+        tmp_path):
+    root = str(tmp_path / "shared-store")
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    all_models = ("in-order", "runahead", "multipass", "sltp", "icfp")
+    script = _COORDINATOR.format(src=os.path.abspath(src),
+                                 instructions=INSTRUCTIONS_KILL,
+                                 workloads=WORKLOADS, models=all_models,
+                                 root=root)
+    env = dict(os.environ,
+               REPRO_CACHE_DIR=root,
+               REPRO_LEASE_TTL="2",
+               # every attempt crawls: spaces the per-cell flushes out
+               # so the kill lands mid-campaign, not after it
+               REPRO_FAULTS="slow=1.0,slow_seconds=0.4")
+    proc = subprocess.Popen([sys.executable, "-c", script], env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL,
+                            start_new_session=True)
+    try:
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if len(_result_records(root)) >= 3 or proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            # SIGKILL the whole session: coordinator AND its workers die
+            # with no chance to release leases or mark anything done.
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - defensive
+            proc.kill()
+            proc.wait()
+
+    flushed = len(_result_records(root))
+    total = len(WORKLOADS) * len(all_models)
+    assert flushed >= 3  # the kill landed after at least three flushes
+    assert flushed < total  # ...and before the campaign finished
+
+    # The abandoned ledger survived the crash and still names the jobs.
+    cfg = ExperimentConfig(instructions=INSTRUCTIONS_KILL)
+    jobs = [SimJob(m, w, cfg) for w in WORKLOADS for m in all_models]
+    ledger = ledger_for(jobs, root)
+    assert ledger.exists()
+
+    # Fresh-process resume: the same job set rendezvouses at the same
+    # ledger and store; flushed cells are adopted, only the rest are
+    # recomputed.  (Short TTL: the dead workers' leases expire fast.)
+    store = ResultStore(root)
+    report = CampaignReport()
+    results = run_jobs_fabric(jobs, workers=2, memo=False, store=store,
+                              report=report)
+    assert report.store_hits == flushed  # every flushed cell was adopted
+    assert report.computed == total - flushed  # and only the rest ran
+    assert report.ok()
+    assert _payloads(results) == _payloads(_clean(jobs))
+    assert not ledger.exists()  # the drained campaign cleaned up

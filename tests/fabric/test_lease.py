@@ -1,0 +1,141 @@
+"""Lease-protocol unit tests: the ledger's state machine in isolation.
+
+No simulations run here — these tests drive the claim/renew/steal/
+release transitions directly and pin the invariants the fabric's
+correctness argument leans on: fresh claims are mutually exclusive,
+expiry enables exactly one logical takeover (generation bump), a torn
+record is reclaimable, and completion through the content-addressed
+store is payload-idempotent.
+"""
+
+import json
+import os
+
+from repro.exec import ResultStore, SimJob, run_jobs
+from repro.exec.fabric import Ledger, campaign_fingerprint, ledger_for
+from repro.harness.experiment import ExperimentConfig
+
+
+class _Job:
+    """A minimal leasable: all the ledger reads is ``fingerprint``."""
+
+    def __init__(self, fp: str) -> None:
+        self.fingerprint = fp
+
+
+FPS = ["aa" * 32, "bb" * 32, "cc" * 32]
+
+
+def _ledger(tmp_path) -> Ledger:
+    return Ledger.create(str(tmp_path / "ledger"),
+                         [_Job(fp) for fp in FPS])
+
+
+def test_create_is_idempotent_and_manifest_round_trips(tmp_path):
+    ledger = _ledger(tmp_path)
+    again = Ledger.create(ledger.root, [_Job(fp) for fp in FPS])
+    assert again.root == ledger.root
+    assert ledger.meta()["total"] == 3
+    assert sorted(j.fingerprint for j in ledger.load_jobs()) == sorted(FPS)
+
+
+def test_fresh_claim_is_exclusive(tmp_path):
+    ledger = _ledger(tmp_path)
+    lease, how = ledger.try_claim(FPS[0], "w-a", ttl=30.0, now=1000.0)
+    assert how == "issued" and lease["generation"] == 0
+    # The loser of the race sees a held lease, whatever its worker id.
+    for worker in ("w-b", "w-a"):
+        other, state = ledger.try_claim(FPS[0], worker, ttl=30.0,
+                                        now=1000.1)
+        assert other is None and state == "held"
+
+
+def test_expiry_then_steal_bumps_generation_and_invalidates_victim(
+        tmp_path):
+    ledger = _ledger(tmp_path)
+    lease, _ = ledger.try_claim(FPS[0], "victim", ttl=1.0, now=1000.0)
+    # Before the TTL: held.  After it: stolen, with a generation bump so
+    # the victim's renewals (and release) are rejected from then on.
+    assert ledger.try_claim(FPS[0], "thief", 1.0, now=1000.5)[0] is None
+    stolen, how = ledger.try_claim(FPS[0], "thief", 30.0, now=1002.0)
+    assert how == "stolen" and stolen["generation"] == 1
+    assert ledger.renew(FPS[0], lease, ttl=30.0, now=1002.1) is None
+    ledger.release(FPS[0], lease)  # victim's release: must be a no-op
+    record, state = ledger.read_lease(FPS[0], now=1002.2)
+    assert state == "held" and record["worker"] == "thief"
+
+
+def test_renew_extends_own_lease(tmp_path):
+    ledger = _ledger(tmp_path)
+    lease, _ = ledger.try_claim(FPS[0], "w-a", ttl=1.0, now=1000.0)
+    renewed = ledger.renew(FPS[0], lease, ttl=1.0, now=1000.9)
+    assert renewed is not None
+    _, state = ledger.read_lease(FPS[0], now=1001.5)
+    assert state == "held"  # would have expired without the renewal
+
+
+def test_torn_lease_record_is_reclaimed(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.try_claim(FPS[0], "w-a", ttl=30.0, now=1000.0)
+    with open(ledger.lease_path(FPS[0]), "w", encoding="utf-8") as handle:
+        handle.write('{"worker": "w-a", "expi')  # torn mid-write
+    record, state = ledger.read_lease(FPS[0], now=1000.1)
+    assert record is None and state == "torn"
+    lease, how = ledger.try_claim(FPS[0], "w-b", ttl=30.0, now=1000.2)
+    assert how == "reclaimed" and lease["worker"] == "w-b"
+
+
+def test_force_claim_takes_even_a_held_lease(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.try_claim(FPS[0], "dead-worker", ttl=3600.0, now=1000.0)
+    lease, how = ledger.try_claim(FPS[0], "drain", ttl=30.0, now=1000.1,
+                                  force=True)
+    assert lease is not None and how == "stolen"
+    assert lease["generation"] == 1
+
+
+def test_done_and_failed_markers(tmp_path):
+    ledger = _ledger(tmp_path)
+    ledger.mark_done(FPS[0], "w-a")
+    ledger.mark_failed(FPS[1], "icfp on mcf_like", "retries-exhausted",
+                       "boom", "w-b")
+    assert ledger.is_done(FPS[0]) and not ledger.is_done(FPS[1])
+    assert ledger.done_fingerprints() == {FPS[0]}
+    assert ledger.failed_fingerprints() == {FPS[1]}
+    record = ledger.failed_records()[FPS[1]]
+    assert record["kind"] == "retries-exhausted"
+    status = ledger.status()
+    assert (status["done"], status["failed"], status["remaining"]) == (1, 1, 1)
+
+
+def test_campaign_fingerprint_is_order_insensitive_and_job_sensitive(
+        tmp_path):
+    assert (campaign_fingerprint(FPS)
+            == campaign_fingerprint(list(reversed(FPS))))
+    assert campaign_fingerprint(FPS) != campaign_fingerprint(FPS[:2])
+    # Same jobs -> same ledger root: a resumed coordinator rendezvouses.
+    jobs = [_Job(fp) for fp in FPS]
+    assert (ledger_for(jobs, str(tmp_path)).root
+            == ledger_for(list(reversed(jobs)), str(tmp_path)).root)
+
+
+def test_double_complete_is_payload_idempotent(tmp_path):
+    # The invariant every lease race leans on: two workers completing
+    # the same fingerprint write payload-identical records, so the
+    # second completion is a semantic no-op whoever wins the rename.
+    cfg = ExperimentConfig(instructions=400)
+    job = SimJob("in-order", "mesa_like", cfg)
+    [result] = run_jobs([job], workers=1, memo=False, store=False,
+                        fabric=False)
+    store = ResultStore(str(tmp_path / "store"))
+    assert store.put_result(job.fingerprint, result)
+    first = store.get_json("results", job.fingerprint)
+    assert store.put_result(job.fingerprint, result)  # the "loser"
+    second = store.get_json("results", job.fingerprint)
+    assert (json.dumps(first, sort_keys=True)
+            == json.dumps(second, sort_keys=True))
+    # And the ledger's done marker tolerates the same race.
+    ledger = _ledger(tmp_path)
+    ledger.mark_done(job.fingerprint, "w-a")
+    ledger.mark_done(job.fingerprint, "w-b")
+    assert ledger.is_done(job.fingerprint)
