@@ -11,7 +11,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Fast-profile knobs (override on the command line as needed).
 SMOKE_INSTRUCTIONS ?= 1200
 SMOKE_WORKLOADS ?= mcf_like,mesa_like,equake_like,gzip_like
-SMOKE_TESTS ?= tests/exec tests/fabric tests/faults tests/harness tests/engine tests/workloads tests/wgen tests/stats
+SMOKE_TESTS ?= tests/exec tests/fabric tests/faults tests/harness tests/engine tests/workloads tests/wgen tests/stats tests/obs
 # Smoke deselects @pytest.mark.slow (wide fixed-budget grids that ignore
 # the REPRO_* fast profile); the full suite always runs them.
 SMOKE_MARKERS ?= not slow
@@ -25,7 +25,7 @@ CHAOS_TESTS ?= tests/faults
 # a SIGKILL'd coordinator resumed in a fresh process).
 FABRIC_CHAOS_TESTS ?= tests/fabric
 
-.PHONY: test smoke smoke-campaign chaos fabric-chaos bench bench-warm bench-throughput profile
+.PHONY: test smoke smoke-campaign chaos fabric-chaos bench bench-warm bench-throughput profile trace
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -71,9 +71,10 @@ fabric-chaos:
 ## hosts — scalar-vs-batched lane execution, disk-store cold/warm, a
 ## seeded generated suite, the phase-attribution on/off delta, and the
 ## fault-tolerance faults-off-vs-chaos delta, and the sequential-vs-
-## lease-fabric coordination delta; every comparison is min-of-3
+## lease-fabric coordination delta, and the trace-off-vs-on obs
+## overhead; every comparison is min-of-3
 ## interleaved) as machine-readable JSON, plus the compact
-## trend record (schema v7).  BENCH_throughput.json at the repo root is
+## trend record (schema v8).  BENCH_throughput.json at the repo root is
 ## the checked-in baseline; before overwriting it the fresh record is
 ## compared against it and any >20% throughput regression is shouted
 ## to stderr.
@@ -98,3 +99,14 @@ bench-warm:
 ## Full throughput report only (no trend record).
 bench-throughput:
 	$(PYTHON) benchmarks/bench_throughput.py
+
+## Traced smoke campaign: run the fast-profile grid through the fabric
+## with span tracing on, then export the merged obs logs to a Chrome
+## trace-event file (load trace.chrome.json in Perfetto / about:tracing
+## to see the coordinator and each worker as its own track).
+trace:
+	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
+	REPRO_TRACE=1 \
+	$(PYTHON) -m repro figure5 -w $(SMOKE_WORKLOADS) --fabric 2
+	$(PYTHON) -m repro obs export --chrome -o trace.chrome.json
+	@echo "wrote trace.chrome.json (open in Perfetto: https://ui.perfetto.dev)"

@@ -33,6 +33,10 @@ Six measurements, separated so the trend record can tell them apart:
   per rep) vs plain sequential execution: what the durable
   coordination layer costs end to end (fork, leases, heartbeats,
   store round-trip), byte-identity checked.
+* **obs overhead** — the sequential grid with ``REPRO_TRACE`` unset vs
+  set: what span tracing + metrics actually cost when on, and a pin
+  that the off side stays at ~zero (a single module-level check),
+  byte-identity checked.
 
 Methodology: every on-vs-off comparison (engine jobs=1 vs jobs=N,
 batch scalar vs batched, attribution on vs off, faults clean vs chaos)
@@ -52,9 +56,9 @@ Usable three ways:
   ``--store-dir`` persists the store between invocations (second runs
   are store-hot); ``--store-only`` skips everything but the store phase.
 * ``--output BENCH_throughput.json`` additionally writes the compact
-  trend record (schema v6: commit, jobs, grid, batch widths, sims/sec,
+  trend record (schema v8: commit, jobs, grid, batch widths, sims/sec,
   store cold/warm, generated-suite rates, attribution delta,
-  fault-recovery delta, env) — ``make bench`` uses this.  When the
+  fault-recovery delta, fabric rate, obs-overhead delta, env) — ``make bench`` uses this.  When the
   output file already holds a previous record, the new one is compared
   against it first and any >20% throughput regression is shouted to
   stderr (the checked-in ``BENCH_throughput.json`` is the baseline).
@@ -571,6 +575,73 @@ def run_fabric_phase(config: ExperimentConfig, workloads,
     }
 
 
+def run_obs_overhead_phase(config: ExperimentConfig, workloads) -> dict:
+    """Trace-off vs trace-on sims/sec over the sequential grid.
+
+    The telemetry subsystem's zero-overhead contract, measured: the off
+    side is the ordinary sequential grid (``REPRO_TRACE`` unset — hot
+    paths pay one module-global check), the on side runs the identical
+    grid with span tracing, engine leap-audit probes, and metrics
+    mirroring live, logs flushed per record to a throwaway obs dir.
+    Byte-identity between the sides is the observation-only law; the
+    overhead percentage is the trend line that keeps tracing honest.
+    """
+    from repro.exec import TRACE_CACHE
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import merge_logs
+
+    jobs = suite_jobs(MODELS, workloads, config)
+    for workload in workloads:
+        TRACE_CACHE.get(workload, config.instructions)
+    obs_root = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    prior_trace = os.environ.pop("REPRO_TRACE", None)
+
+    def grid():
+        return run_jobs(jobs, workers=1, memo=False, store=False,
+                        fabric=False)
+
+    def pass_off():
+        os.environ.pop("REPRO_TRACE", None)
+        return grid()
+
+    def pass_on():
+        os.environ["REPRO_TRACE"] = obs_root
+        return grid()
+
+    try:
+        off_results = pass_off()  # prime both sides before timing
+        on_results = pass_on()
+        walls_off, walls_on = [], []
+        for _ in range(COMPARE_REPS):
+            wall, _results = _timed(pass_off)
+            walls_off.append(wall)
+            wall, _results = _timed(pass_on)
+            walls_on.append(wall)
+        span_records = sum(1 for r in merge_logs(obs_root)
+                           if r.get("ph") == "X")
+    finally:
+        os.environ.pop("REPRO_TRACE", None)
+        obs_trace.deactivate()
+        if prior_trace is not None:
+            os.environ["REPRO_TRACE"] = prior_trace
+        shutil.rmtree(obs_root, ignore_errors=True)
+    off_wall, on_wall = min(walls_off), min(walls_on)
+    sims = len(jobs)
+    return {
+        "methodology": METHODOLOGY,
+        "simulations": sims,
+        "reps": COMPARE_REPS,
+        "off_wall_s": round(off_wall, 4),
+        "on_wall_s": round(on_wall, 4),
+        "off_sims_per_sec": round(sims / off_wall, 2),
+        "on_sims_per_sec": round(sims / on_wall, 2),
+        "overhead_pct": round((on_wall - off_wall) / off_wall * 100.0, 2),
+        "span_records": span_records,
+        "results_identical": (_payloads(off_results)
+                              == _payloads(on_results)),
+    }
+
+
 def campaign_throughput(parallel_jobs: int | None = None,
                         config: ExperimentConfig | None = None,
                         workloads=None, store_dir: str | None = None,
@@ -635,12 +706,14 @@ def campaign_throughput(parallel_jobs: int | None = None,
             report["fault_tolerance"] = run_fault_tolerance_phase(
                 config, workloads)
             report["fabric"] = run_fabric_phase(config, workloads)
+            report["obs"] = run_obs_overhead_phase(config, workloads)
         report["store"] = run_store_phase(config, workloads, store_dir)
         verdicts = [report["store"]["results_identical"]]
         if not store_only:
             verdicts.append(report["batch"]["results_identical"])
             verdicts.append(report["fault_tolerance"]["results_identical"])
             verdicts.append(report["fabric"]["results_identical"])
+            verdicts.append(report["obs"]["results_identical"])
             if report["parallel"] is not None:
                 verdicts.append(report["parallel_results_identical"])
         report["results_identical"] = all(verdicts)
@@ -713,6 +786,13 @@ def test_campaign_throughput(once):
     assert fabric["leases_issued"] >= 1, "no worker actually leased"
     assert fabric["worker_deaths"] == 0  # no chaos plan in this phase
     assert fabric["degradations"] == 0, "fabric fell back to in-process"
+    obs = report["obs"]
+    assert obs["results_identical"], "tracing changed a result"
+    assert obs["methodology"] == METHODOLOGY
+    assert obs["reps"] == COMPARE_REPS
+    assert obs["on_sims_per_sec"] > 0
+    assert obs["off_sims_per_sec"] > 0
+    assert obs["span_records"] > 0, "the traced side recorded nothing"
 
 
 def test_regression_guard():
@@ -752,11 +832,11 @@ def git_commit() -> str:
 def bench_record(report: dict) -> dict:
     """The compact machine-readable trend record for BENCH_throughput.json.
 
-    Schema v7 (over v6: adds the fabric phase — sequential vs the
-    lease-based multi-process campaign fabric, with lease-churn
-    counters).  Enough for a dashboard to plot every trajectory across
-    PRs and to tell an engine regression from a cache, generator,
-    attribution, batching, recovery-path, or coordination-layer
+    Schema v8 (over v7: adds the obs phase — trace-off vs trace-on over
+    the sequential grid, the telemetry subsystem's measured overhead).
+    Enough for a dashboard to plot every trajectory across PRs and to
+    tell an engine regression from a cache, generator, attribution,
+    batching, recovery-path, coordination-layer, or telemetry
     regression, without re-parsing the full report.
     """
     sequential = report["sequential"]
@@ -767,8 +847,9 @@ def bench_record(report: dict) -> dict:
     attribution = report["phase_attribution"]
     faults = report["fault_tolerance"]
     fabric = report["fabric"]
+    obs = report["obs"]
     return {
-        "schema": "bench_throughput/v7",
+        "schema": "bench_throughput/v8",
         "commit": git_commit(),
         "methodology": METHODOLOGY,
         "jobs": {"sequential": 1,
@@ -872,6 +953,17 @@ def bench_record(report: dict) -> dict:
             "degradations": fabric["degradations"],
             "results_identical": fabric["results_identical"],
         },
+        "obs": {
+            "simulations": obs["simulations"],
+            "reps": obs["reps"],
+            "off_wall_s": obs["off_wall_s"],
+            "on_wall_s": obs["on_wall_s"],
+            "off_sims_per_sec": obs["off_sims_per_sec"],
+            "on_sims_per_sec": obs["on_sims_per_sec"],
+            "overhead_pct": obs["overhead_pct"],
+            "span_records": obs["span_records"],
+            "results_identical": obs["results_identical"],
+        },
         "results_identical": report["results_identical"],
     }
 
@@ -886,6 +978,7 @@ GUARD_METRICS = (
     "generated.sims_per_sec",
     "store.warm_speedup",
     "fabric.sims_per_sec",
+    "obs.on_sims_per_sec",
 )
 GUARD_THRESHOLD = 0.20
 

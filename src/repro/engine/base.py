@@ -48,6 +48,7 @@ from collections import deque
 
 from ..branch.predictor import BranchPredictor
 from ..functional.trace import DynInst, KIND_LOAD, KIND_STORE, Trace
+from ..obs import trace as _obs_trace
 from ..isa.registers import NUM_REGS, ZERO_REG
 from ..memory.hierarchy import MemoryHierarchy, MemResult
 from ..pipeline.config import MachineConfig
@@ -169,6 +170,14 @@ class CoreModel:
         else:
             self._phase_of = None
             self._phase_stats = None
+
+        # Leap-audit probe (observation only, ``REPRO_TRACE`` gated):
+        # leap counts, leapt-cycle totals, and horizon-source tallies
+        # feed the obs metrics registry at finalize.  ``None`` when
+        # tracing is off — the leap path then pays one ``is not None``
+        # check per taken leap and the commit path pays nothing.
+        self._obs_probe = ({"leaps": 0, "leapt": 0, "sources": {}}
+                           if _obs_trace.TRACER is not None else None)
 
         if cfg.warm_icache or cfg.warm_dcache:
             # Snapshot reuse is only sound when the hierarchy started
@@ -322,8 +331,35 @@ class CoreModel:
         reports completion)."""
         self.stats.cycles = max(self.cycle, self.last_completion)
         self.stats.branch_mispredicts = self.predictor.mispredictions
+        if self._obs_probe is not None:
+            self._record_probe()
         return SimResult(self.name, self.trace.program.name, self.stats,
                          phase_stats=self._finalize_phase_stats())
+
+    def _record_probe(self) -> None:
+        """Publish the leap-audit probe into the obs metrics registry.
+
+        Observation only — reads sealed aggregates, mutates nothing the
+        simulation can see.  Step cycles are derived (total − leapt), so
+        the hot loop never counts them.
+        """
+        from ..obs import metrics as _obs_metrics
+
+        probe = self._obs_probe
+        registry = _obs_metrics.REGISTRY
+        leapt = probe["leapt"]
+        registry.counter("engine.leaps").inc(probe["leaps"])
+        registry.counter("engine.cycles.leapt").inc(leapt)
+        registry.counter("engine.cycles.stepped").inc(
+            max(0, self.stats.cycles - leapt))
+        for source, count in probe["sources"].items():
+            registry.counter(f"engine.horizon.{source}").inc(count)
+        if self.stats.cycles:
+            # Commits per kilocycle, one histogram per model: the
+            # leap-audit open item's "does leaping skew commit rate"
+            # question gets its distribution.
+            registry.histogram(f"engine.commit_kipc.{self.name}").observe(
+                1000.0 * self.stats.instructions / self.stats.cycles)
 
     def step_cycle(self) -> None:
         """Advance the simulation by one cycle (tests drive this directly
@@ -685,7 +721,37 @@ class CoreModel:
         if c > cycle and (not best or c < best):
             best = c
         if best > cycle + 1:
+            probe = self._obs_probe
+            if probe is not None:
+                probe["leaps"] += 1
+                probe["leapt"] += best - 1 - cycle
+                source = self._horizon_source(cycle, best)
+                probe["sources"][source] = probe["sources"].get(source, 0) + 1
             self.cycle = best - 1  # the loop increments before phases
+
+    def _horizon_source(self, cycle: int, best: int) -> str:
+        """Which wake-up source supplied the winning horizon (probe
+        only — re-derives the candidates with pure reads, in the same
+        precedence order the leap scanned them)."""
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            if self._head_wakeup(fetch_queue[0]) == best:
+                return "head"
+        elif self.cursor < self._trace_len and not self.fetch_blocked:
+            c = self.fetch_resume_cycle
+            if self._ifetch_ready > c:
+                c = self._ifetch_ready
+            if c == best:
+                return "fetch"
+        if self.store_queue.next_event_cycle(cycle) == best:
+            return "store_queue"
+        if self.hierarchy.next_event_cycle() == best:
+            return "hierarchy"
+        if self.next_event_cycle() == best:
+            return "subclass"
+        if self.last_completion == best:
+            return "completion"
+        return "other"  # pragma: no cover - defensive
 
     def next_event_cycle(self) -> int | None:
         """Subclass horizon hook: earliest future cycle the subclass's

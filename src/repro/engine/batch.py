@@ -128,6 +128,8 @@ def run_lanes(cores, chunk: int = DEFAULT_CHUNK) -> list:
     boundary just sits out later slices until the boundary catches up,
     and a finished lane leaves the wavefront at once.
     """
+    from ..obs import trace as obs_trace
+
     n = len(cores)
     clocks = lane_column([0] * n)
     done = array("b", bytes(n))
@@ -139,11 +141,13 @@ def run_lanes(cores, chunk: int = DEFAULT_CHUNK) -> list:
         # leaps already overshot it are skipped for free, and no slice
         # is wasted on a region where every live clock has moved past.
         horizon = chunk + min(clocks[lane] for lane in live)
-        for lane in live:
-            core = cores[lane]
-            if core.run_until(horizon):
-                done[lane] = 1
-            clocks[lane] = core.cycle
+        with obs_trace.span("batch.wavefront", lanes=n, live=len(live),
+                            boundary=int(horizon)):
+            for lane in live:
+                core = cores[lane]
+                if core.run_until(horizon):
+                    done[lane] = 1
+                clocks[lane] = core.cycle
     return [core.finalize() for core in cores]
 
 

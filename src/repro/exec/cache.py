@@ -56,15 +56,20 @@ class TraceCache:
         # Local imports: workloads.suite routes trace_by_name through
         # this module, so a top-level import would be circular (and
         # wgen's composer sits above the same layer).
+        from ..obs import trace as obs_trace
         from ..workloads.suite import build_kernel, trace_kernel
 
-        if isinstance(workload, str):
-            kernel = build_kernel(workload)
-        else:
-            from ..wgen.compose import build_workload
+        with obs_trace.span(
+                "trace.build",
+                workload=str(getattr(workload, "name", workload)),
+                instructions=instructions):
+            if isinstance(workload, str):
+                kernel = build_kernel(workload)
+            else:
+                from ..wgen.compose import build_workload
 
-            kernel = build_workload(workload)
-        trace = trace_kernel(kernel, instructions=instructions)
+                kernel = build_workload(workload)
+            trace = trace_kernel(kernel, instructions=instructions)
         self._entries[key] = trace
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

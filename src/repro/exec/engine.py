@@ -68,6 +68,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
+from ..obs import trace as obs_trace
 from .cache import RESULT_CACHE
 from .faults import InjectedFault, active_injector, mark_worker_process
 from .report import CampaignReport, JobFailure
@@ -193,6 +194,10 @@ def _worker_init() -> None:
     os.environ["REPRO_JOBS"] = "1"
     os.environ["REPRO_FABRIC_WORKERS"] = "0"
     mark_worker_process()
+    # Fork children inherit the parent's tracer; spans they emit land
+    # in their own per-pid log (the tracer reopens on pid change).
+    # Spawn platforms re-derive activation from the inherited env here.
+    obs_trace.refresh()
 
 
 def _pool(workers: int) -> ProcessPoolExecutor:
@@ -225,7 +230,11 @@ def _invoke(fn, arg, key: str, attempt: int, delay: float):
     injector = active_injector()
     if injector is not None:
         injector.on_job_attempt(key, attempt)
-    return fn(arg)
+    tracer = obs_trace.TRACER
+    if tracer is None:
+        return fn(arg)
+    with tracer.span("attempt", fp=key[:16], attempt=attempt):
+        return fn(arg)
 
 
 class _Task:
@@ -295,33 +304,39 @@ def _run_tasks_sequential(tasks, policy: RetryPolicy,
     for task in tasks:
         if fresh_budget:
             task.attempts = 0
-        while True:
-            task.attempts += 1
-            task.seq += 1
-            report.attempts += 1
-            try:
-                result = _invoke(task.fn, task.arg, task.key, task.seq, 0.0)
-            except InjectedFault as exc:
-                if task.attempts >= policy.max_attempts:
-                    _fail(task, RetryExhaustedError(task.label, task.key,
-                                                    task.attempts, exc),
-                          "retries-exhausted", failures, report)
-                    break
-                report.retries += 1
-                time.sleep(_backoff(policy, task.attempts))
-                continue
-            except (KeyboardInterrupt, SystemExit):
-                # An interrupted cell is not a failed cell: let the
-                # interrupt surface (completed cells are already
-                # flushed) so a rerun resumes it instead of reporting
-                # a phantom job failure.
-                raise
-            except BaseException as exc:
-                _fail(task, exc, "exception", failures, report)
-                break
-            else:
-                record(task, result)
-                break
+        with obs_trace.span("job", fp=task.key[:16], label=task.label):
+            _run_one_sequential(task, policy, report, record, failures)
+
+
+def _run_one_sequential(task, policy: RetryPolicy, report: CampaignReport,
+                        record, failures: dict[int, BaseException]) -> None:
+    """One task's bounded in-process retry loop (the ``job`` span body)."""
+    while True:
+        task.attempts += 1
+        task.seq += 1
+        report.attempts += 1
+        try:
+            result = _invoke(task.fn, task.arg, task.key, task.seq, 0.0)
+        except InjectedFault as exc:
+            if task.attempts >= policy.max_attempts:
+                _fail(task, RetryExhaustedError(task.label, task.key,
+                                                task.attempts, exc),
+                      "retries-exhausted", failures, report)
+                return
+            report.retries += 1
+            time.sleep(_backoff(policy, task.attempts))
+        except (KeyboardInterrupt, SystemExit):
+            # An interrupted cell is not a failed cell: let the
+            # interrupt surface (completed cells are already
+            # flushed) so a rerun resumes it instead of reporting
+            # a phantom job failure.
+            raise
+        except BaseException as exc:
+            _fail(task, exc, "exception", failures, report)
+            return
+        else:
+            record(task, result)
+            return
 
 
 def _run_tasks_pooled(tasks, workers: int, policy: RetryPolicy,
@@ -493,10 +508,14 @@ def _prewarm_traces(jobs) -> dict:
 
     failed: dict = {}
     for key in {(job.workload, job.config.instructions) for job in jobs}:
-        try:
-            TRACE_CACHE.get(*key)
-        except Exception as exc:
-            failed[key] = exc
+        workload, instructions = key
+        with obs_trace.span("workload",
+                            workload=str(getattr(workload, "name", workload)),
+                            instructions=instructions):
+            try:
+                TRACE_CACHE.get(*key)
+            except Exception as exc:
+                failed[key] = exc
     return failed
 
 
@@ -596,6 +615,9 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
     from ..engine.batch import plan_batches
     from .store import resolve_store
 
+    # One env read per campaign entry: hot paths below only test the
+    # module-level TRACER global (the zero-overhead contract).
+    obs_trace.refresh()
     if fabric is not False:
         requested = fabric
         if requested is None:
@@ -616,6 +638,17 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
     disk = None if (store is None and not memo) else resolve_store(store)
     report.jobs += len(jobs)
     results: list = [None] * len(jobs)
+    # Entered/exited by hand so the span covers the whole campaign —
+    # cache resolution through the final counter flush — without
+    # re-indenting the scheduler.  A no-op singleton when tracing is off.
+    campaign_span = obs_trace.span(
+        "campaign", jobs=len(jobs), workers=workers,
+        mode="pool" if workers > 1 else "sequential")
+    campaign_span.__enter__()
+    # One report may span several campaigns (sweeps accumulate): mirror
+    # only this campaign's delta into the metrics registry at the end.
+    tallies_before = (report.tallies() if obs_trace.TRACER is not None
+                      else None)
     positions, fresh = _resolve_cached(jobs, memo, disk, report, results)
 
     failures: dict[int, BaseException] = {}
@@ -679,6 +712,18 @@ def run_jobs(jobs, *, workers: int | None = None, memo: bool = True,
         if disk is not None:
             report.store_errors += disk.corrupt - corrupt_before
             disk.flush_counters()
+        tracer = obs_trace.TRACER
+        if tracer is not None:
+            from ..obs import metrics as obs_metrics
+
+            tallies = report.tallies()
+            if tallies_before is not None:
+                tallies = {name: value - tallies_before.get(name, 0)
+                           for name, value in tallies.items()}
+            obs_metrics.REGISTRY.count_into("campaign", tallies)
+            tracer.emit_metrics(obs_metrics.REGISTRY.snapshot(),
+                                scope="campaign")
+        campaign_span.__exit__(None, None, None)
     return results
 
 

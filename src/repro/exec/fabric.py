@@ -77,6 +77,7 @@ import signal
 import tempfile
 import time
 
+from ..obs import trace as obs_trace
 from .cache import RESULT_CACHE
 from .faults import active_injector
 from .fingerprint import fingerprint
@@ -84,6 +85,11 @@ from .report import CampaignReport, JobFailure
 
 #: Ledger poll interval (coordinator supervision + idle worker rescan).
 POLL_INTERVAL = 0.05
+
+#: One retry across a mid-write manifest before status says
+#: "initialising" (the manifest create is two atomic writes; a reader
+#: can land between them).
+META_RETRY = 0.05
 
 #: Worker deaths the coordinator replaces before abandoning the local
 #: worker fleet and draining the remainder in-process.
@@ -318,10 +324,15 @@ class Ledger:
         if state == "missing":
             if not self._write_lease(path, lease, create=True):
                 return None, "held"  # lost the create race (or read-only)
+            obs_trace.event("lease.issued", fp=fp[:16], worker=worker,
+                            generation=generation)
             return lease, "issued"
         if not self._write_lease(path, lease, create=False):
             return None, "held"
-        return lease, ("reclaimed" if state == "torn" else "stolen")
+        how = "reclaimed" if state == "torn" else "stolen"
+        obs_trace.event(f"lease.{how}", fp=fp[:16], worker=worker,
+                        generation=generation)
+        return lease, how
 
     def renew(self, fp: str, lease: dict, ttl: float, now: float):
         """Extend our lease; ``None`` when it was stolen from under us."""
@@ -347,6 +358,7 @@ class Ledger:
         _atomic_write(self._marker_path("done", fp), json.dumps(
             {"fingerprint": fp, "worker": worker,
              "completed": time.time()}, separators=(",", ":")).encode())
+        obs_trace.event("lease.done", fp=fp[:16], worker=worker)
 
     def mark_failed(self, fp: str, label: str, kind: str, error: str,
                     worker: str) -> None:
@@ -354,6 +366,8 @@ class Ledger:
             {"fingerprint": fp, "label": label, "kind": kind,
              "error": error, "worker": worker},
             separators=(",", ":")).encode())
+        obs_trace.event("lease.failed", fp=fp[:16], worker=worker,
+                        kind=kind)
 
     def _marker_fingerprints(self, kind: str) -> set[str]:
         try:
@@ -402,7 +416,15 @@ class Ledger:
     # -- status --------------------------------------------------------
     def status(self, now: float | None = None) -> dict:
         now = now if now is not None else time.time()
-        meta = self.meta() or {}
+        meta = self.meta()
+        if meta is None:
+            # The manifest is mid-write (coordinator still creating the
+            # ledger) or torn: retry once across the write window, then
+            # report "initialising" rather than guessing totals.
+            time.sleep(META_RETRY)
+            meta = self.meta()
+        initialising = meta is None
+        meta = meta or {}
         total = int(meta.get("total", 0))
         done = self.done_fingerprints()
         failed = self.failed_fingerprints() - done
@@ -417,6 +439,7 @@ class Ledger:
                 torn += 1
         return {"campaign": meta.get("campaign",
                                      os.path.basename(self.root)),
+                "initialising": initialising,
                 "total": total, "done": len(done), "failed": len(failed),
                 "remaining": max(0, total - len(done) - len(failed)),
                 "leases_held": held, "leases_expired": expired,
@@ -574,12 +597,32 @@ def run_jobs_fabric(jobs, *, workers: int | None = None, memo: bool = True,
     report.jobs += len(jobs)
     results: list = [None] * len(jobs)
     failures: dict[int, BaseException] = {}
+    # Entered by hand and exited in finish() so the span covers the
+    # whole fabric campaign (a no-op singleton when tracing is off).
+    obs_trace.refresh()
+    campaign_span = obs_trace.span("campaign", jobs=len(jobs),
+                                   workers=workers, mode="fabric")
+    campaign_span.__enter__()
+    tallies_before = (report.tallies() if obs_trace.TRACER is not None
+                      else None)
     positions, fresh = _resolve_cached(jobs, memo, disk, report, results)
     corrupt_before = disk.corrupt
 
     def finish() -> list:
         report.store_errors += disk.corrupt - corrupt_before
         disk.flush_counters()
+        tracer = obs_trace.TRACER
+        if tracer is not None:
+            from ..obs import metrics as obs_metrics
+
+            tallies = report.tallies()
+            if tallies_before is not None:
+                tallies = {name: value - tallies_before.get(name, 0)
+                           for name, value in tallies.items()}
+            obs_metrics.REGISTRY.count_into("campaign", tallies)
+            tracer.emit_metrics(obs_metrics.REGISTRY.snapshot(),
+                                scope="campaign")
+        campaign_span.__exit__(None, None, None)
         if failures and strict:
             raise failures[min(failures)]
         return results

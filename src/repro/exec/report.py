@@ -73,6 +73,19 @@ class CampaignReport:
         self.failures.extend(other.failures)
         return self
 
+    def tallies(self) -> dict:
+        """The numeric counters only (what mirrors into the metrics
+        registry as ``campaign.<name>`` — failures stay structured)."""
+        out = self.as_dict()
+        out.pop("failures")
+        out["failed_jobs"] = len(self.failures)
+        return out
+
+    def to_metrics(self, registry, prefix: str = "campaign") -> None:
+        """Mirror these tallies into a
+        :class:`repro.obs.metrics.MetricsRegistry`."""
+        registry.count_into(prefix, self.tallies())
+
     def as_dict(self) -> dict:
         return {
             "jobs": self.jobs,

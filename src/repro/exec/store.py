@@ -72,6 +72,7 @@ import time
 from dataclasses import fields as dataclass_fields
 
 from ..engine.result import SimResult
+from ..obs import trace as obs_trace
 from ..pipeline.stats import CoreStats, MLPMeter, PhaseStats, StallBreakdown
 from .faults import active_injector
 from .fingerprint import fingerprint
@@ -411,7 +412,8 @@ class ResultStore:
         return loaded
 
     def put_result(self, fp: str, result: SimResult) -> bool:
-        return self.put_json("results", fp, result_to_payload(result))
+        with obs_trace.span("store.flush", fp=fp[:16]):
+            return self.put_json("results", fp, result_to_payload(result))
 
     def put_results(self, pairs) -> None:
         """Batched flush (the engine calls this once per pool batch)."""
@@ -504,18 +506,26 @@ class ResultStore:
                   for name in self._flushed}
         if not any(deltas.values()):
             return
-        locked = self._acquire_counters_lock()
-        try:
-            totals = self.read_counters()
-            for name, delta in deltas.items():
-                totals[name] = totals.get(name, 0) + delta
-            if not self._atomic_write_json(self._counters_path(), totals):
-                return
-            for name in self._flushed:
-                self._flushed[name] = getattr(self, name)
-        finally:
-            if locked:
-                self._discard(self._counters_lock_path())
+        if obs_trace.TRACER is not None:
+            # Mirror the session deltas into the metrics registry — the
+            # merge-safe face of counters.json — before they are folded
+            # away into the lifetime totals.
+            from ..obs import metrics as obs_metrics
+
+            obs_metrics.REGISTRY.count_into("store", deltas)
+        with obs_trace.span("store.flush", kind="counters"):
+            locked = self._acquire_counters_lock()
+            try:
+                totals = self.read_counters()
+                for name, delta in deltas.items():
+                    totals[name] = totals.get(name, 0) + delta
+                if not self._atomic_write_json(self._counters_path(), totals):
+                    return
+                for name in self._flushed:
+                    self._flushed[name] = getattr(self, name)
+            finally:
+                if locked:
+                    self._discard(self._counters_lock_path())
 
     def read_counters(self) -> dict:
         try:

@@ -39,6 +39,7 @@ import signal
 import threading
 import time
 
+from ..obs import trace as obs_trace
 from .faults import InjectedFault, active_injector, mark_worker_process
 from .report import CampaignReport
 
@@ -68,7 +69,8 @@ def compute_with_retries(job, policy, report: CampaignReport | None = None):
             injector = active_injector()
             if injector is not None:
                 injector.on_job_attempt(fp, attempts)
-            return job.run()
+            with obs_trace.span("attempt", fp=fp[:16], attempt=attempts):
+                return job.run()
         except InjectedFault as exc:
             if attempts >= policy.max_attempts:
                 raise RetryExhaustedError(_job_label(job), fp, attempts,
@@ -173,6 +175,23 @@ class FabricWorker:
     # -- the drain loop -------------------------------------------------
     def run(self) -> None:
         """Drain the ledger: loop until nothing is left (or stopped)."""
+        with obs_trace.span("worker.lifetime", worker=self.worker_id,
+                            index=self.index):
+            self._drain()
+        tracer = obs_trace.TRACER
+        if tracer is not None:
+            # Publish this worker's tallies as merge-safe metrics (the
+            # exporter folds them across the fleet) before the process
+            # goes away.
+            from ..obs import metrics as obs_metrics
+
+            obs_metrics.REGISTRY.count_into(
+                "fabric", {name: value for name, value in self.stats.items()
+                           if name not in ("worker", "pid")})
+            tracer.emit_metrics(obs_metrics.REGISTRY.snapshot(),
+                                scope="worker")
+
+    def _drain(self) -> None:
         jobs = {job.fingerprint: job for job in self.ledger.load_jobs()}
         order = sorted(jobs)
         if order and self.index:
@@ -216,6 +235,12 @@ class FabricWorker:
 
     def _execute(self, job, lease) -> None:
         fp = job.fingerprint
+        with obs_trace.span("lease", fp=fp[:16], worker=self.worker_id,
+                            generation=lease.get("generation", 0)):
+            self._execute_leased(job, lease)
+
+    def _execute_leased(self, job, lease) -> None:
+        fp = job.fingerprint
         beat = _Heartbeat(self, fp, lease)
         beat.start()
         try:
@@ -246,6 +271,8 @@ class FabricWorker:
             beat.stop()
             if beat.lost.is_set():
                 self.stats["leases_lost"] += 1
+                obs_trace.event("lease.lost", fp=fp[:16],
+                                worker=self.worker_id)
             else:
                 self.ledger.release(fp, lease)
 
@@ -266,6 +293,15 @@ def worker_process_entry(ledger_root: str, store_root: str, index: int,
     os.environ["REPRO_JOBS"] = "1"
     os.environ["REPRO_FABRIC_WORKERS"] = "0"
     mark_worker_process()
+    tracer = obs_trace.refresh()
+    if tracer is not None:
+        # Own track name per worker slot; fork also inherited the
+        # parent's registry counts, which this process must not re-
+        # publish as its own.
+        from ..obs import metrics as obs_metrics
+
+        obs_metrics.REGISTRY.clear()
+        tracer.set_label(f"worker-w{index}")
     ledger = Ledger(ledger_root)
     worker = FabricWorker(ledger, f"w{index}-{os.getpid()}",
                           store=ResultStore(store_root), ttl=ttl,

@@ -18,6 +18,9 @@ so results can be regenerated without writing Python:
     python -m repro wgen generate -N 8 --seed 7 -o suite.json
     python -m repro wgen characterize -w gen:8:7
     python -m repro phases -w gen:8:7       # per-phase attribution
+    python -m repro figure5 --trace         # record obs spans + metrics
+    python -m repro obs export --chrome     # -> Perfetto timeline JSON
+    python -m repro top                     # live campaign dashboard
 
 Campaigns are incremental by default: results persist in the on-disk
 store (``REPRO_CACHE_DIR``, default ``.repro-cache/``), so re-running a
@@ -103,6 +106,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="run campaigns through the lease-based "
                              "multi-worker fabric with N workers "
                              "(default: REPRO_FABRIC_WORKERS, off)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record structured span traces + metrics to "
+                             "<store>/obs/ (default: REPRO_TRACE, off; "
+                             "export with `repro obs export --chrome`)")
+    parser.add_argument("--report", action="store_true",
+                        help="always print the campaign report on stderr, "
+                             "even with zero incidents (default: "
+                             "REPRO_REPORT, off)")
 
 
 def _apply_jobs(args) -> None:
@@ -131,6 +142,10 @@ def _apply_jobs(args) -> None:
         os.environ["REPRO_FAULTS"] = args.faults
     if getattr(args, "fabric", None) is not None:
         os.environ["REPRO_FABRIC_WORKERS"] = str(max(0, args.fabric))
+    if getattr(args, "trace", False):
+        os.environ["REPRO_TRACE"] = "1"
+    if getattr(args, "report", False):
+        os.environ["REPRO_REPORT"] = "1"
 
 
 #: Reports for campaigns still in flight: an interrupt (SIGINT/SIGTERM)
@@ -147,12 +162,18 @@ def _report():
     return report
 
 
+def _report_requested() -> bool:
+    value = os.environ.get("REPRO_REPORT", "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
 def _emit_report(report) -> None:
     # Campaign health goes to stderr (stdout stays parseable); a boring
-    # campaign with zero incidents prints nothing.
+    # campaign with zero incidents prints nothing unless --report /
+    # REPRO_REPORT asks for the tallies regardless.
     if report in _PENDING_REPORTS:
         _PENDING_REPORTS.remove(report)
-    if report.incidents():
+    if report.incidents() or _report_requested():
         print(report.summary(), file=sys.stderr)
         for failure in report.failures:
             print(f"  failed: {failure}", file=sys.stderr)
@@ -252,6 +273,16 @@ def cmd_area(_args) -> None:
     print(format_area_table())
 
 
+def _human_bytes(n) -> str:
+    """1536 -> '1.5 KiB': byte counts at the size humans read."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return (f"{value:.0f} {unit}" if unit == "B"
+                    else f"{value:.1f} {unit}")
+        value /= 1024.0
+
+
 def cmd_cache(args) -> None:
     from ..exec.store import ResultStore, cache_dir
 
@@ -264,13 +295,13 @@ def cmd_cache(args) -> None:
               f"(schema v{info['schema']}, engine {info['engine']})")
         for section, usage in info["sections"].items():
             print(f"  {section:10s} {usage['entries']:6d} entries  "
-                  f"{usage['bytes'] / 1024:10.1f} KiB")
+                  f"{_human_bytes(usage['bytes']):>10s}")
         print(f"  {'total':10s} {info['entries']:6d} entries  "
-              f"{info['bytes'] / 1024:10.1f} KiB")
+              f"{_human_bytes(info['bytes']):>10s}")
         stale = info["stale"]
         if stale["entries"]:
             print(f"  stale versions: {stale['entries']} entries, "
-                  f"{stale['bytes'] / 1024:.1f} KiB  "
+                  f"{_human_bytes(stale['bytes'])}  "
                   "(`repro cache gc --older-than N` removes these)")
         lifetime = info["lifetime"]
         if lifetime:
@@ -278,13 +309,13 @@ def cmd_cache(args) -> None:
             rate = (100.0 * lifetime.get("hits", 0) / lookups
                     if lookups else 0.0)
             print(f"  lifetime: {lifetime.get('hits', 0)} hits / "
-                  f"{lookups} lookups ({rate:.1f}%), "
+                  f"{lookups} lookups ({rate:.1f}% hit rate), "
                   f"{lifetime.get('writes', 0)} writes, "
                   f"{lifetime.get('corrupt', 0)} corrupt")
         quarantine = info["quarantine"]
         if quarantine["entries"]:
             print(f"  quarantine: {quarantine['entries']} corrupt records, "
-                  f"{quarantine['bytes'] / 1024:.1f} KiB  "
+                  f"{_human_bytes(quarantine['bytes'])}  "
                   "(`repro cache quarantine` inspects these)")
     elif args.action == "quarantine":
         if args.clear:
@@ -340,6 +371,10 @@ def _campaign_store():
 
 
 def _status_line(status: dict) -> str:
+    if status.get("initialising"):
+        # The manifest was unreadable even after the ledger's retry: the
+        # coordinator is mid-create (or the record is torn).
+        return f"{status['campaign'][:16]}  initialising"
     line = (f"{status['campaign'][:16]}  {status['done']}/{status['total']} "
             f"done")
     if status["failed"]:
@@ -379,6 +414,13 @@ def cmd_campaign(args) -> None:
             ledgers = list_ledgers(disk.root)
         if not ledgers:
             print(f"no campaign ledgers under {disk.root}")
+            return
+        if args.watch:
+            from ..obs.watch import campaign_snapshot, watch_loop
+
+            watch_loop(
+                lambda: [campaign_snapshot(ledger) for ledger in ledgers],
+                interval=args.interval)
             return
         for ledger in ledgers:
             print(_status_line(ledger.status()))
@@ -450,6 +492,62 @@ def cmd_worker(args) -> None:
           f"{stats['leases_issued']} leases "
           f"(+{stats['leases_stolen']} stolen, "
           f"{stats['leases_reclaimed']} reclaimed)", file=sys.stderr)
+
+
+def cmd_obs(args) -> None:
+    from ..obs import export as obs_export
+    from ..obs import trace as obs_trace
+
+    obs_dir = args.obs_dir or obs_trace.default_obs_dir()
+    records = obs_export.merge_logs(obs_dir)
+    if not records:
+        raise SystemExit(
+            f"no obs logs under {obs_dir} (record some with --trace "
+            "or REPRO_TRACE=1)")
+    if args.action == "export":
+        # --chrome is the only format today; the flag keeps the command
+        # line honest about what the file is for (chrome://tracing,
+        # Perfetto).
+        output = args.output or os.path.join(obs_dir, "trace.chrome.json")
+        info = obs_export.export_chrome(obs_dir, output)
+        print(f"wrote {info['events']} events on {info['tracks']} track(s) "
+              f"to {info['output']}")
+        print("  open it in Perfetto (https://ui.perfetto.dev) or "
+              "chrome://tracing")
+    else:  # summary
+        summary = obs_export.summarize(records)
+        print(f"obs logs under {obs_dir}: {len(records)} records")
+        spans = summary.get("spans", {})
+        if spans:
+            print(f"  {'span':16s} {'count':>7s} {'total':>10s}")
+            for name in sorted(spans):
+                row = spans[name]
+                print(f"  {name:16s} {row['count']:7d} "
+                      f"{row['total_us'] / 1e6:9.3f}s")
+        metrics = summary.get("metrics", {})
+        counters = metrics.get("counters", {})
+        if counters:
+            print("  counters:")
+            for name in sorted(counters):
+                print(f"    {name:28s} {counters[name]}")
+
+
+def cmd_top(args) -> None:
+    from ..exec.fabric import list_ledgers
+    from ..obs.watch import campaign_snapshot, watch_loop
+
+    _apply_jobs(args)
+    disk = _campaign_store()
+
+    def snapshots():
+        return [campaign_snapshot(ledger)
+                for ledger in list_ledgers(disk.root)]
+
+    if args.once:
+        # One refresh, no screen clear: scriptable / testable output.
+        watch_loop(snapshots, interval=0, iterations=1, clear=False)
+        return
+    watch_loop(snapshots, interval=args.interval)
 
 
 def cmd_wgen(args) -> None:
@@ -655,7 +753,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("campaign", nargs="?", default=None,
                    help="status: a campaign fingerprint prefix or ledger "
                         "path (default: all ledgers under the store)")
+    p.add_argument("--watch", action="store_true",
+                   help="status: redraw a live dashboard (workers, lease "
+                        "ages, throughput, ETA) until ctrl-c")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                   help="watch refresh period (default 1.0)")
     p.set_defaults(fn=cmd_campaign)
+
+    p = sub.add_parser("top",
+                       help="live dashboard over every campaign ledger")
+    _add_common(p)
+    p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                   help="refresh period (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="draw one refresh without clearing the screen "
+                        "and exit (scriptable)")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("obs", help="export / summarise recorded obs logs")
+    p.add_argument("action", choices=("export", "summary"))
+    p.add_argument("--chrome", action="store_true",
+                   help="export: write Chrome trace-event JSON (the only "
+                        "format; the flag names the artefact)")
+    p.add_argument("-o", "--output", type=str, default=None,
+                   help="export: output path (default "
+                        "<obs-dir>/trace.chrome.json)")
+    p.add_argument("--obs-dir", type=str, default=None,
+                   help="obs log directory (default: REPRO_OBS_DIR, then "
+                        "<store root>/obs)")
+    p.set_defaults(fn=cmd_obs)
 
     p = sub.add_parser("worker",
                        help="drain one campaign ledger as a fabric worker")

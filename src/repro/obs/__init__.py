@@ -1,0 +1,59 @@
+"""repro.obs — the unified telemetry subsystem.
+
+Zero-dependency observability for the whole execution stack:
+
+- :mod:`repro.obs.trace` — structured span tracing to append-only
+  per-process JSONL logs under ``<store>/obs/``, activated by
+  ``REPRO_TRACE`` / ``--trace``; off costs one module-level check.
+- :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  merge-safe snapshots; the one facility behind CampaignReport tallies,
+  store counters, fabric lease stats, and the engine's leap-audit
+  probes.
+- :mod:`repro.obs.export` — merge obs logs, export Chrome trace-event
+  JSON (``repro obs export --chrome``) for Perfetto timelines.
+- :mod:`repro.obs.watch` — live dashboards (``repro campaign status
+  --watch``, ``repro top``).
+
+The non-negotiable contract (pinned in tier-1, measured by
+``make bench``): tracing on vs. off is byte-identical in every result
+and stat — spans observe, they never steer.
+"""
+
+from . import metrics
+from .export import export_chrome, merge_logs, summarize, to_chrome
+from .metrics import REGISTRY, MetricsRegistry, merge_snapshots
+from .trace import (
+    OBS_SCHEMA,
+    Tracer,
+    activate,
+    deactivate,
+    default_obs_dir,
+    enabled,
+    event,
+    iter_events,
+    obs_log_paths,
+    refresh,
+    span,
+)
+
+__all__ = [
+    "OBS_SCHEMA",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Tracer",
+    "activate",
+    "deactivate",
+    "default_obs_dir",
+    "enabled",
+    "event",
+    "export_chrome",
+    "iter_events",
+    "merge_logs",
+    "merge_snapshots",
+    "metrics",
+    "obs_log_paths",
+    "refresh",
+    "span",
+    "summarize",
+    "to_chrome",
+]

@@ -1,0 +1,198 @@
+"""Live campaign watch: render fabric ledgers as an in-terminal view.
+
+``repro campaign status --watch`` (one campaign) and ``repro top``
+(every ledger under the store) tail the durable coordination state a
+fabric campaign already writes — the ledger's done/failed markers,
+lease files, per-worker stats records — plus the obs logs' merged
+metrics, and redraw a compact dashboard each interval: per-worker
+state, lease ages, throughput (sims/sec, cells/min), and an ETA
+extrapolated from the completion rate since the watch began.
+
+Everything here is read-only and torn-read tolerant (a mid-write
+manifest reports "initialising", never a crash), so a watch can point
+at a live campaign — or a dead one — from any process.  The rendering
+is pure (snapshot dicts in, text out), which is what the tests pin;
+the loop around it is a thin clear-screen-and-sleep driver.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+#: Manifest reads are retried once across this gap before a ledger is
+#: reported as still initialising (mid-write torn read).
+META_RETRY = 0.05
+
+
+def read_meta(ledger, retries: int = 1, delay: float = META_RETRY):
+    """``ledger.meta()`` with one retry across a torn mid-write read."""
+    meta = ledger.meta()
+    for _ in range(retries):
+        if meta is not None:
+            break
+        time.sleep(delay)
+        meta = ledger.meta()
+    return meta
+
+
+def lease_table(ledger, now: float) -> list[dict]:
+    """Every live lease: fingerprint, holder, age, state."""
+    rows = []
+    for fp in sorted(ledger._marker_fingerprints("leases")):
+        record, state = ledger.read_lease(fp, now)
+        if state == "missing":
+            continue
+        rows.append({
+            "fingerprint": fp[:12],
+            "worker": record.get("worker", "?") if record else "?",
+            "age": (now - float(record["acquired"])) if record else 0.0,
+            "state": state})
+    return rows
+
+
+def campaign_snapshot(ledger, now: float | None = None) -> dict:
+    """One ledger's full watch snapshot (status + workers + leases)."""
+    now = now if now is not None else time.time()
+    meta = read_meta(ledger)
+    if meta is None:
+        # Manifest unreadable after a retry: the coordinator is mid-
+        # create (or the record is torn) — report that, don't guess.
+        return {"campaign": os.path.basename(ledger.root),
+                "initialising": True, "total": 0, "done": 0, "failed": 0,
+                "remaining": 0, "workers": [], "leases": []}
+    status = ledger.status(now)
+    workers = []
+    for stats in ledger.worker_stats():
+        path = os.path.join(ledger._dir("workers"),
+                            str(stats.get("worker", "?")) + ".json")
+        try:
+            flushed_ago = now - os.stat(path).st_mtime
+        except OSError:
+            flushed_ago = None
+        workers.append(dict(stats, flushed_ago=flushed_ago))
+    status["initialising"] = False
+    status["workers"] = workers
+    status["leases"] = lease_table(ledger, now)
+    return status
+
+
+class WatchState:
+    """Completion-rate tracker across refreshes of one watch session.
+
+    The rate is measured from the first sample (not instantaneous), so
+    the ETA stabilises instead of whipsawing with each poll.
+    """
+
+    def __init__(self) -> None:
+        self._first: tuple[float, int] | None = None
+
+    def observe(self, now: float, done: int) -> dict:
+        if self._first is None:
+            self._first = (now, done)
+        t0, d0 = self._first
+        elapsed = now - t0
+        rate = (done - d0) / elapsed if elapsed > 0.5 else 0.0
+        return {"rate": rate, "elapsed": elapsed}
+
+
+def _fmt_age(seconds: float | None) -> str:
+    if seconds is None:
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def format_snapshot(snap: dict, rates: dict | None = None) -> str:
+    """Render one campaign snapshot as the watch's text block."""
+    lines = []
+    name = snap.get("campaign", "?")
+    if snap.get("initialising"):
+        lines.append(f"{name}  initialising (manifest mid-write)")
+        return "\n".join(lines)
+    total = snap.get("total", 0)
+    done = snap.get("done", 0)
+    pct = (100.0 * done / total) if total else 0.0
+    head = (f"{name}  {done}/{total} done ({pct:.0f}%)"
+            f"  failed {snap.get('failed', 0)}"
+            f"  remaining {snap.get('remaining', 0)}"
+            f"  leases {snap.get('leases_held', 0)} held")
+    expired = snap.get("leases_expired", 0)
+    torn = snap.get("leases_torn", 0)
+    if expired or torn:
+        head += f" ({expired} expired, {torn} torn)"
+    lines.append(head)
+    if rates:
+        rate = rates.get("rate", 0.0)
+        line = f"  throughput {rate:.2f} sims/sec ({rate * 60:.0f} cells/min)"
+        remaining = snap.get("remaining", 0)
+        if rate > 0 and remaining:
+            line += f"  eta {_fmt_age(remaining / rate)}"
+        elif remaining == 0 and total:
+            line += "  complete"
+        lines.append(line)
+    for worker in snap.get("workers", []):
+        lines.append(
+            f"  worker {worker.get('worker', '?'):<14}"
+            f" done {worker.get('completed', 0):>4}"
+            f" adopted {worker.get('adopted', 0):>3}"
+            f" failed {worker.get('failed', 0):>3}"
+            f" retries {worker.get('retries', 0):>3}"
+            f" leases {worker.get('leases_issued', 0)}"
+            f"/{worker.get('leases_stolen', 0)}s"
+            f"/{worker.get('leases_lost', 0)}L"
+            f"  flushed {_fmt_age(worker.get('flushed_ago'))} ago")
+    for lease in snap.get("leases", []):
+        lines.append(
+            f"  lease {lease['fingerprint']}  {lease['worker']:<14}"
+            f" {lease['state']:<8} age {_fmt_age(lease['age'])}")
+    return "\n".join(lines)
+
+
+def render_screen(snapshots: list[dict], states: dict,
+                  now: float | None = None) -> str:
+    """The whole dashboard: one block per campaign + a footer."""
+    now = now if now is not None else time.time()
+    blocks = []
+    for snap in snapshots:
+        state = states.setdefault(snap.get("campaign", "?"), WatchState())
+        rates = (None if snap.get("initialising")
+                 else state.observe(now, snap.get("done", 0)))
+        blocks.append(format_snapshot(snap, rates))
+    if not blocks:
+        blocks.append("no campaign ledgers found")
+    stamp = time.strftime("%H:%M:%S", time.localtime(now))
+    return "\n\n".join(blocks) + f"\n\n[{stamp}] ctrl-c to exit"
+
+
+def watch_loop(snapshot_fn, *, interval: float = 1.0,
+               iterations: int | None = None, out=None,
+               clear: bool = True) -> int:
+    """Redraw ``snapshot_fn()`` every ``interval`` seconds.
+
+    ``iterations`` bounds the loop for tests (None = until ctrl-c);
+    returns the number of refreshes drawn.  ``clear`` uses the ANSI
+    home+clear sequence; tests pass ``clear=False`` and a StringIO.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    states: dict = {}
+    drawn = 0
+    try:
+        while iterations is None or drawn < iterations:
+            text = render_screen(snapshot_fn(), states)
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(text + "\n")
+            out.flush()
+            drawn += 1
+            if iterations is not None and drawn >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return drawn

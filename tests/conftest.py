@@ -32,3 +32,18 @@ def hermetic_result_store(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_FABRIC_WORKERS", raising=False)
     monkeypatch.delenv("REPRO_LEASE_TTL", raising=False)
     monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+    # Telemetry is observation-only, but a developer's REPRO_TRACE must
+    # not scatter obs logs through test stores (or flip report output).
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    monkeypatch.delenv("REPRO_REPORT", raising=False)
+    # A stray activation (or published counters) from a prior in-process
+    # test must not leak into this one's registry or logs.
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    obs_trace.deactivate()
+    obs_metrics.REGISTRY.clear()
+    yield
+    obs_trace.deactivate()
+    obs_metrics.REGISTRY.clear()

@@ -1,0 +1,98 @@
+"""Heartbeat hygiene: renewal threads are always joined, never leaked.
+
+Every lease a :class:`~repro.exec.worker.FabricWorker` executes starts
+a ``_Heartbeat`` renewal thread; ``_execute``'s ``finally`` must join
+it on every exit path.  These tests pin the two paths where a leak
+would hide: a graceful stop-request drain (the SIGTERM handler calls
+``worker.stop()``) and a lease observed lost mid-job.
+"""
+
+import threading
+import time
+
+from repro.exec import ResultStore, SimJob
+from repro.exec.fabric import Ledger, ledger_for
+from repro.exec.worker import FabricWorker, _Heartbeat
+from repro.harness.experiment import ExperimentConfig
+
+
+def _live_heartbeats():
+    return [t for t in threading.enumerate() if isinstance(t, _Heartbeat)]
+
+
+def _worker(tmp_path, instructions, **kwargs):
+    cfg = ExperimentConfig(instructions=instructions)
+    jobs = [SimJob("in-order", w, cfg) for w in ("mesa_like", "gzip_like")]
+    store = ResultStore(str(tmp_path / "store"))
+    ledger = Ledger.create(ledger_for(jobs, store.root).root, jobs)
+    return FabricWorker(ledger, "hb-w0", store=store, **kwargs), jobs
+
+
+def test_drain_joins_every_heartbeat_thread(tmp_path):
+    worker, jobs = _worker(tmp_path, 359, heartbeat=0.01)
+    assert not _live_heartbeats()
+    worker.run()
+    assert worker.stats["completed"] == len(jobs)
+    assert not _live_heartbeats(), "a heartbeat outlived its lease"
+
+
+def test_stop_request_drain_joins_heartbeats(tmp_path):
+    # worker.stop() is exactly what the SIGTERM handler calls: finish
+    # the current lease, flush, exit — with its heartbeat joined.
+    worker, _jobs = _worker(tmp_path, 361, heartbeat=0.01)
+    runner = threading.Thread(target=worker.run)
+    runner.start()
+    worker.stop()
+    runner.join(timeout=30)
+    assert not runner.is_alive()
+    assert not _live_heartbeats(), \
+        "a heartbeat outlived the SIGTERM-style drain"
+
+
+class _LeaseLosingJob:
+    """A job whose run() gets its own lease stolen, then fails.
+
+    Mimics a stalled worker: while it "computes", a rival force-claims
+    the lease (generation bump), so the next renewal observes foreign
+    ownership and sets ``lost``.  The raise takes the failure path —
+    the heartbeat must still be joined and the loss accounted.
+    """
+
+    fingerprint = "f" * 64
+    model = "stub"
+    workload = "stub"
+
+    def __init__(self, ledger, heartbeat):
+        self._ledger = ledger
+        self._heartbeat = heartbeat
+
+    def run(self):
+        rival = Ledger(self._ledger.root)
+        lease, how = rival.try_claim(self.fingerprint, "thief", 60.0,
+                                     time.time(), force=True)
+        assert lease is not None and how == "stolen"
+        deadline = time.monotonic() + 30.0
+        while not any(b.lost.is_set() for b in _live_heartbeats()):
+            assert time.monotonic() < deadline, "renewal never saw the theft"
+            time.sleep(self._heartbeat)
+        raise RuntimeError("simulated mid-steal failure")
+
+
+def test_lost_lease_joins_heartbeat_and_counts_loss(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    root = str(tmp_path / "store" / "fabric" / "hbtest")
+    placeholder = _LeaseLosingJob(Ledger(root), 0.01)
+    ledger = Ledger.create(root, [placeholder])
+    worker = FabricWorker(ledger, "hb-w0", store=store, heartbeat=0.01)
+    job = _LeaseLosingJob(ledger, worker.heartbeat)
+    lease, how = ledger.try_claim(job.fingerprint, worker.worker_id,
+                                  worker.ttl, worker.now())
+    assert how == "issued"
+    worker._execute(job, lease)
+    assert not _live_heartbeats(), "a heartbeat outlived the lost lease"
+    assert worker.stats["leases_lost"] == 1
+    assert worker.stats["failed"] == 1
+    # The lease was NOT released: it belongs to the thief now.
+    record, state = ledger.read_lease(job.fingerprint, time.time())
+    assert state == "held"
+    assert record["worker"] == "thief"

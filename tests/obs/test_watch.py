@@ -1,0 +1,119 @@
+"""Live watch: snapshots, rendering, torn-manifest tolerance.
+
+Rendering is pure (snapshot dicts in, text out) and every read is
+torn-tolerant: a mid-write manifest reports "initialising", never a
+crash — the satellite fix pinned by ``test_status_survives_torn_
+manifest``.
+"""
+
+import io
+import os
+import time
+
+from repro.exec import ResultStore, SimJob
+from repro.exec.fabric import Ledger, ledger_for
+from repro.harness.experiment import ExperimentConfig
+from repro.obs.watch import (
+    WatchState,
+    campaign_snapshot,
+    format_snapshot,
+    lease_table,
+    render_screen,
+    watch_loop,
+)
+
+
+def _ledger(tmp_path, instructions=353):
+    cfg = ExperimentConfig(instructions=instructions)
+    jobs = [SimJob("in-order", w, cfg) for w in ("mesa_like", "gzip_like")]
+    store = ResultStore(str(tmp_path / "store"))
+    return Ledger.create(ledger_for(jobs, store.root).root, jobs), jobs
+
+
+def test_campaign_snapshot_reads_ledger_state(tmp_path):
+    ledger, jobs = _ledger(tmp_path)
+    now = time.time()
+    ledger.try_claim(jobs[0].fingerprint, "w0-1", 60.0, now)
+    ledger.mark_done(jobs[1].fingerprint, "w0-1")
+    ledger.write_worker_stats("w0-1", {"worker": "w0-1", "completed": 1,
+                                       "adopted": 0, "failed": 0})
+    snap = campaign_snapshot(ledger, now + 5)
+    assert not snap["initialising"]
+    assert snap["total"] == 2
+    assert snap["done"] == 1
+    assert snap["remaining"] == 1
+    assert snap["leases_held"] == 1
+    [lease] = snap["leases"]
+    assert lease["worker"] == "w0-1"
+    assert lease["state"] == "held"
+    assert 4.0 < lease["age"] < 6.0
+    [worker] = snap["workers"]
+    assert worker["completed"] == 1
+    assert worker["flushed_ago"] is not None
+
+
+def test_status_survives_torn_manifest(tmp_path):
+    # A coordinator mid-create leaves a ledger directory whose manifest
+    # is not yet readable; status must report "initialising", not crash.
+    root = tmp_path / "store" / "fabric" / "deadbeef00"
+    os.makedirs(root)
+    (root / "manifest.json").write_text('{"campaign": "deadbeef00", "to')
+    ledger = Ledger(str(root))
+    status = ledger.status()
+    assert status["initialising"]
+    assert status["total"] == 0
+    snap = campaign_snapshot(ledger)
+    assert snap["initialising"]
+    assert "initialising" in format_snapshot(snap)
+
+
+def test_lease_table_states(tmp_path):
+    ledger, jobs = _ledger(tmp_path, 355)
+    now = time.time()
+    ledger.try_claim(jobs[0].fingerprint, "held-w", 60.0, now)
+    ledger.try_claim(jobs[1].fingerprint, "dead-w", 0.001, now - 10)
+    rows = {r["worker"]: r["state"] for r in lease_table(ledger, now)}
+    assert rows == {"held-w": "held", "dead-w": "expired"}
+
+
+def test_watch_state_rate_and_eta_inputs():
+    state = WatchState()
+    first = state.observe(100.0, 10)
+    assert first["rate"] == 0.0  # no elapsed baseline yet
+    later = state.observe(110.0, 30)
+    assert later["rate"] == 2.0  # (30-10)/10s, measured from first
+    assert later["elapsed"] == 10.0
+
+
+def test_format_snapshot_renders_throughput_and_leases():
+    snap = {"campaign": "cafe", "initialising": False, "total": 10,
+            "done": 4, "failed": 1, "remaining": 5, "leases_held": 2,
+            "leases_expired": 1, "leases_torn": 0,
+            "workers": [{"worker": "w0", "completed": 4, "adopted": 0,
+                         "failed": 1, "retries": 2, "leases_issued": 5,
+                         "leases_stolen": 1, "leases_lost": 0,
+                         "flushed_ago": 3.0}],
+            "leases": [{"fingerprint": "ab12", "worker": "w0",
+                        "age": 70.0, "state": "held"}]}
+    text = format_snapshot(snap, {"rate": 0.5, "elapsed": 8.0})
+    assert "4/10 done (40%)" in text
+    assert "0.50 sims/sec (30 cells/min)" in text
+    assert "eta 10s" in text  # 5 remaining / 0.5 per sec
+    assert "worker w0" in text
+    assert "lease ab12" in text
+    assert "age 1.2m" in text
+
+
+def test_watch_loop_draws_without_clearing(tmp_path):
+    ledger, _jobs = _ledger(tmp_path, 357)
+    out = io.StringIO()
+    drawn = watch_loop(lambda: [campaign_snapshot(ledger)], interval=0,
+                       iterations=2, out=out, clear=False)
+    assert drawn == 2
+    text = out.getvalue()
+    assert "\x1b" not in text
+    assert text.count("0/2 done") == 2
+
+
+def test_render_screen_empty():
+    assert "no campaign ledgers found" in render_screen([], {})
