@@ -25,7 +25,12 @@ CHAOS_TESTS ?= tests/faults
 # a SIGKILL'd coordinator resumed in a fresh process).
 FABRIC_CHAOS_TESTS ?= tests/fabric
 
-.PHONY: test smoke smoke-campaign chaos fabric-chaos bench bench-warm bench-throughput profile trace
+.PHONY: test smoke smoke-campaign leap-audit chaos fabric-chaos bench bench-warm bench-throughput profile trace
+
+# Fast leap-audit slice for `make smoke`: two miss-heavy kernels at the
+# short budget plus the formerly-divergent cells through the batched
+# backend (the full sweep is `make leap-audit`).
+LEAP_SMOKE ?= formerly or ((mcf_like or equake_like) and 800)
 
 ## Full tier-1 suite (slow: full instruction budgets).  The fast smoke
 ## profile — which includes the golden cycle/stats fixtures in
@@ -43,6 +48,18 @@ smoke:
 	REPRO_INSTRUCTIONS=$(SMOKE_INSTRUCTIONS) \
 	REPRO_WORKLOADS=$(SMOKE_WORKLOADS) \
 	$(PYTHON) -m pytest -x -q -m "$(SMOKE_MARKERS)" $(SMOKE_TESTS)
+	$(PYTHON) -m pytest -x -q tests/engine/test_leap_audit.py \
+		-k "$(LEAP_SMOKE)"
+
+## The event-horizon leap's correctness contract at full width: every
+## suite kernel x every machine model x two budgets, leap engine vs
+## cycle-by-cycle reference engine (leap=False), full-stats equality —
+## plus the idle-skip micro-programs and the formerly-divergent cells
+## through the batched backend.  Run this after touching any
+## `_head_wakeup` / `next_event_cycle` override or mode machinery.
+leap-audit:
+	$(PYTHON) -m pytest -q tests/engine/test_leap_audit.py \
+		tests/engine/test_idle_skip.py
 
 ## The same profile through the CLI: one real campaign, printed.
 smoke-campaign:

@@ -35,6 +35,14 @@ class MultipassCore(RunaheadCore):
         self.result_reuses = 0
 
     # ------------------------------------------------------------------
+    def _head_wakeup(self, entry: FetchEntry) -> int:
+        """A reusable head waits for nothing but decode: the saved
+        result breaks its data dependences (:meth:`_issue_reused` checks
+        only port availability, which the leap never waits on)."""
+        if entry.dyn.index in self._results:
+            return entry.decode_ready
+        return super()._head_wakeup(entry)
+
     def try_issue(self, entry: FetchEntry) -> str:
         if entry.dyn.index in self._results:
             return self._issue_reused(entry)

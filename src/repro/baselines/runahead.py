@@ -38,10 +38,10 @@ class RunaheadCore(CoreModel):
 
     def __init__(self, trace, config=None, hierarchy=None, predictor=None,
                  advance_on: str = "l2", runahead_cache_entries: int = 256,
-                 lane_params=None, lane=0) -> None:
+                 lane_params=None, lane=0, leap=None) -> None:
         super().__init__(trace, config=config, hierarchy=hierarchy,
                          predictor=predictor, lane_params=lane_params,
-                         lane=lane)
+                         lane=lane, leap=leap)
         if advance_on not in ("l2", "l2_d1", "all"):
             raise ValueError(f"unknown advance_on: {advance_on}")
         self.advance_on = advance_on
@@ -69,6 +69,22 @@ class RunaheadCore(CoreModel):
         if self.mode == RUNAHEAD:
             return self._trigger_ready
         return None
+
+    def _head_wakeup(self, entry: FetchEntry) -> int:
+        """Match :meth:`_try_issue_runahead`'s stall rules while running
+        ahead: shadow-poisoned sources never wait on the scoreboard (they
+        poison-propagate instead) and there is no WAW/destination stall.
+        The base rule would overestimate the wake-up — and an
+        overestimated horizon lets the leap skip issueable cycles."""
+        if self.mode != RUNAHEAD:
+            return super()._head_wakeup(entry)
+        earliest = entry.decode_ready
+        shadow = self._shadow_poison
+        reg_ready = self.reg_ready
+        for src in entry.dyn.srcs:
+            if src not in shadow and reg_ready[src] > earliest:
+                earliest = reg_ready[src]
+        return earliest
 
     def done(self) -> bool:
         # A runahead period always ends with a restore; the run can only

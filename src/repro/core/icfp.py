@@ -95,10 +95,10 @@ class ICFPCore(CoreModel):
 
     def __init__(self, trace, config=None, hierarchy=None, predictor=None,
                  features: ICFPFeatures | None = None,
-                 lane_params=None, lane=0) -> None:
+                 lane_params=None, lane=0, leap=None) -> None:
         super().__init__(trace, config=config, hierarchy=hierarchy,
                          predictor=predictor, lane_params=lane_params,
-                         lane=lane)
+                         lane=lane, leap=leap)
         self.features = features if features is not None else ICFPFeatures()
         f = self.features
         self._mt_rally = f.mt_rally
@@ -134,6 +134,7 @@ class ICFPCore(CoreModel):
         self._shadow_stores: dict[int, object] = {}
         self._rallied_since_fallback = False
         self._stale_check_needed = False
+        self._mode_at_cycle_start = NORMAL
 
     # ==================================================================
     # per-cycle phases
@@ -147,6 +148,7 @@ class ICFPCore(CoreModel):
         # phase would only probe an always-empty queue and is omitted.
         cycle = self.cycle + 1
         self.cycle = cycle
+        mode_at_start = self.mode
         # begin_cycle (retire fast path inlined)
         hierarchy = self.hierarchy
         ifetch_mshrs = hierarchy.ifetch_mshrs
@@ -183,6 +185,11 @@ class ICFPCore(CoreModel):
             if self._rally_step():
                 slots -= 1
                 progress = True
+            elif not self.rally_active:
+                # The pass ended (or squashed) inside this step: slices
+                # reclaimed, tail unblocked, stale check armed — a real
+                # state change the leap must not glide over.
+                progress = True
             if not self._mt_rally:
                 run_tail = False  # tail blocked while a rally is in flight
         fetch_queue = self.fetch_queue
@@ -214,11 +221,20 @@ class ICFPCore(CoreModel):
             self._maybe_resume_advance()
         elif mode == ADVANCE:
             self._maybe_exit_advance()
+        if self.mode is not mode_at_start:
+            # A mode transition on an otherwise idle cycle (advance
+            # falling back to simple runahead on a full slice, the
+            # fallback resuming advance, advance exiting) swaps the
+            # head's issue rules mid-stall: the same head can issue
+            # next cycle under the new mode, so the leap must step
+            # through the boundary rather than scan past it.
+            self._progress = True
         if not self._progress:
             self._leap_to_horizon()
 
     def begin_cycle(self) -> None:
         # Flattened super() chain: this runs every stepped cycle.
+        self._mode_at_cycle_start = self.mode
         returned = self.hierarchy.retire_mshrs(self.cycle)
         self.returned_mshrs = returned
         if self.mode == NORMAL:
@@ -258,6 +274,10 @@ class ICFPCore(CoreModel):
                 # The rally slot did real work this cycle.
                 slots -= 1
                 self._progress = True
+            elif not self.rally_active:
+                # Pass ended (or squashed) this cycle — a state change
+                # the leap must not skip.
+                self._progress = True
             if not self.features.mt_rally:
                 return  # tail blocked while a rally is in flight
         fetch_queue = self.fetch_queue
@@ -287,6 +307,10 @@ class ICFPCore(CoreModel):
             self._maybe_resume_advance()
         elif mode == ADVANCE:
             self._maybe_exit_advance()
+        if self.mode is not self._mode_at_cycle_start:
+            # Same rule as the merged step: a mode flip swaps the
+            # head's issue rules, so the leap must step the boundary.
+            self._progress = True
 
     def done(self) -> bool:
         return (
@@ -298,25 +322,57 @@ class ICFPCore(CoreModel):
         )
 
     def next_event_cycle(self) -> int | None:
-        """Horizon: rally waits, blocked rallies, and the gated SB drain."""
+        """Horizon: rally waits, blocked rallies, the gated SB drain, and
+        the rally-start triggers that only a stepped ``begin_cycle`` can
+        act on (the pending rally mask and the stale-bit re-queue) —
+        without exporting those, a leap could glide over the very cycle
+        that would have launched the next rally pass."""
         hints = []
-        if self.rally_active and self._rally_wait_until > self.cycle:
-            hints.append(self._rally_wait_until)
+        cycle = self.cycle
+        if self.rally_active:
+            if self._rally_wait_until > cycle:
+                hints.append(self._rally_wait_until)
+        elif self.mode != NORMAL and self.slice._active:
+            # begin_cycle would start a rally pass on the next stepped
+            # cycle if any bits are queued — either directly in
+            # pending_rally_mask or re-queued by the deferred stale
+            # check (read-only here: the flag is cleared on the stepped
+            # cycle that performs the check).
+            if self.pending_rally_mask:
+                hints.append(cycle + 1)
+            elif (self._stale_check_needed
+                    and self.slice.pending_poison() & ~self._in_flight_bits()):
+                hints.append(cycle + 1)
         if self._rally_block is not None:
             hints.append(self._rally_block[1])
-        drain = self.sb.next_event_cycle(self.cycle)
+        drain = self.sb.next_event_cycle(cycle)
         if drain is not None:
             hints.append(drain)
         return min(hints) if hints else None
 
     def _head_wakeup(self, entry: FetchEntry) -> int:
+        """Mode-exact wake-up of the issue head (leap contract: never
+        later than the cycle the issue path would accept the entry).
+
+        * ``normal``    — sources and destination (WAW) must be ready.
+        * ``advance``   — poisoned sources never wait (the instruction
+          slices out instead); no WAW stall.
+        * ``simple_ra`` — *shadow*-poisoned sources never wait; every
+          other source (including main-poisoned ones, which the issue
+          path checks only after the scoreboard) waits; no WAW stall.
+        """
         earliest = entry.decode_ready
-        poison = self.main_rf.poison
         reg_ready = self.reg_ready
-        normal = self.mode == NORMAL
+        mode = self.mode
+        if mode == SIMPLE_RA:
+            shadow = self._shadow_poison
+            for src in entry.dyn.srcs:
+                if src not in shadow and reg_ready[src] > earliest:
+                    earliest = reg_ready[src]
+            return earliest
+        poison = self.main_rf.poison
+        normal = mode == NORMAL
         for src in entry.dyn.srcs:
-            # Poisoned sources never wait on the scoreboard — the
-            # instruction slices out instead.
             if (normal or not poison[src]) and reg_ready[src] > earliest:
                 earliest = reg_ready[src]
         dst = entry.dyn.dst

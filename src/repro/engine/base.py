@@ -44,6 +44,7 @@ built once per trace and shared by every model that replays it.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 
 from ..branch.predictor import BranchPredictor
@@ -91,6 +92,7 @@ class CoreModel:
         predictor: BranchPredictor | None = None,
         lane_params: LaneParams | None = None,
         lane: int = 0,
+        leap: bool | None = None,
     ) -> None:
         self.trace = trace
         self.config = config if config is not None else MachineConfig.hpca09()
@@ -128,6 +130,16 @@ class CoreModel:
         self.last_completion = 0
         self.returned_mshrs = []
         self._progress = False
+
+        # Reference mode: ``leap=False`` (or ``REPRO_NO_LEAP=1`` in the
+        # environment) disables the event-horizon leap entirely, making
+        # this core a supported cycle-by-cycle differential baseline —
+        # the engine steps every stall cycle individually and must
+        # produce bit-identical results (see tests/engine/
+        # test_idle_skip.py and `make leap-audit`).
+        if leap is None:
+            leap = os.environ.get("REPRO_NO_LEAP", "") not in ("1", "true", "yes")
+        self._leap = leap
 
         # Hot-loop bindings: flat per-trace arrays plus the per-lane
         # config scalars the per-cycle phases touch, hoisted out of the
@@ -682,76 +694,103 @@ class CoreModel:
     # ==================================================================
     # event-horizon leap
     # ==================================================================
-    def _leap_to_horizon(self) -> None:
-        """Jump the clock to the next cycle anything can happen.
+    def _scan_horizons(self, cycle: int) -> tuple[int, str | None]:
+        """The earliest future wake-up and which component supplies it.
 
-        Pure optimisation: when a cycle makes no progress, every wake-up
-        source is a known future timestamp.  Each stateful component
-        exposes it through the ``next_event_cycle()`` contract (MSHR
-        files via the hierarchy, the store queue, subclass machinery via
-        :meth:`next_event_cycle`); the scoreboard and the fetch-resume
-        latch are folded in directly.  The clock leaps to the minimum.
+        The single candidate scan behind both the leap and the obs
+        probe's horizon-source tally: each stateful component exposes
+        its earliest future event through the ``next_event_cycle()``
+        contract (MSHR files via the hierarchy, the store queue,
+        subclass machinery via :meth:`next_event_cycle`); the scoreboard
+        wake-up of the issue head and the fetch-resume latch are folded
+        in directly.  Returns ``(best, source)``; ``best == 0`` means no
+        future event was found (cycle counts start at 1).
+
+        Completeness is the leap's correctness contract: every deferred
+        action of every mode must be represented here (or by a subclass
+        hook this scans), because a leap past an unlisted wake-up skips
+        work a stepped cycle would have done.  ``make leap-audit`` (the
+        full leap-vs-stepped differential sweep) guards it.
         """
         # Track the earliest future wake-up incrementally — this runs on
         # every idle cycle, so no candidate list is materialised.
-        cycle = self.cycle
-        best = 0  # 0 = no future event found (cycle counts start at 1)
+        best = 0
+        source = None
         fetch_queue = self.fetch_queue
         if fetch_queue:
             c = self._head_wakeup(fetch_queue[0])
             if c > cycle:
                 best = c
-        elif self.cursor < self._trace_len:
-            if not self.fetch_blocked:
-                c = self.fetch_resume_cycle
-                if self._ifetch_ready > c:
-                    c = self._ifetch_ready
-                if c > cycle:
-                    best = c
+                source = "head"
+        # The front end acts (appends entries, with any I$ latency folded
+        # into their decode_ready) on every cycle it is eligible: not
+        # branch-blocked, past the resume latch (taken-branch bubble,
+        # runahead restart, SLTP's SRL drain push), with queue room and
+        # trace left.  Its wake-up is therefore exactly the resume latch;
+        # NOT the last I$ fill time — a line change probes the I$ fresh
+        # and can hit immediately.  When the latch is in the past, a
+        # fetch that failed this cycle was I$-MSHR-stalled (side-effect
+        # free), and its retry rides the hierarchy's fill horizon below.
+        if (self.cursor < self._trace_len and not self.fetch_blocked
+                and len(fetch_queue) < self._fq_depth):
+            c = self.fetch_resume_cycle
+            if c > cycle and (not best or c < best):
+                best = c
+                source = "fetch"
         c = self.store_queue.next_event_cycle(cycle)
         if c is not None and c > cycle and (not best or c < best):
             best = c
+            source = "store_queue"
         c = self.hierarchy.next_event_cycle()
         if c is not None and c > cycle and (not best or c < best):
             best = c
+            source = "hierarchy"
         c = self.next_event_cycle()
         if c is not None and c > cycle and (not best or c < best):
             best = c
+            source = "subclass"
         c = self.last_completion
         if c > cycle and (not best or c < best):
             best = c
+            source = "completion"
+        return best, source
+
+    def _leap_to_horizon(self) -> None:
+        """Jump the clock to the next cycle anything can happen.
+
+        Pure optimisation: when a cycle makes no progress, every wake-up
+        source is a known future timestamp (:meth:`_scan_horizons`), so
+        the clock leaps to the minimum instead of idling through the
+        stall region one cycle at a time.  ``leap=False`` cores skip
+        this entirely — they are the cycle-by-cycle reference.
+        """
+        if not self._leap:
+            return
+        cycle = self.cycle
+        best, source = self._scan_horizons(cycle)
         if best > cycle + 1:
             probe = self._obs_probe
             if probe is not None:
                 probe["leaps"] += 1
                 probe["leapt"] += best - 1 - cycle
-                source = self._horizon_source(cycle, best)
                 probe["sources"][source] = probe["sources"].get(source, 0) + 1
             self.cycle = best - 1  # the loop increments before phases
 
-    def _horizon_source(self, cycle: int, best: int) -> str:
-        """Which wake-up source supplied the winning horizon (probe
-        only — re-derives the candidates with pure reads, in the same
-        precedence order the leap scanned them)."""
-        fetch_queue = self.fetch_queue
-        if fetch_queue:
-            if self._head_wakeup(fetch_queue[0]) == best:
-                return "head"
-        elif self.cursor < self._trace_len and not self.fetch_blocked:
-            c = self.fetch_resume_cycle
-            if self._ifetch_ready > c:
-                c = self._ifetch_ready
-            if c == best:
-                return "fetch"
-        if self.store_queue.next_event_cycle(cycle) == best:
-            return "store_queue"
-        if self.hierarchy.next_event_cycle() == best:
-            return "hierarchy"
-        if self.next_event_cycle() == best:
-            return "subclass"
-        if self.last_completion == best:
-            return "completion"
-        return "other"  # pragma: no cover - defensive
+    def leap_horizon(self) -> int:
+        """Earliest future cycle this core can act (public probe).
+
+        The batch wavefront consults this to raise slice boundaries
+        jointly: after a completed :meth:`step_cycle` any pending leap
+        is already folded into the clock, so a progressing (or freshly
+        leapt) lane answers ``cycle + 1``, while an idle lane whose leap
+        is disabled or capped reports its true scan horizon.
+        """
+        if self._progress:
+            return self.cycle + 1
+        best, _source = self._scan_horizons(self.cycle)
+        if best > self.cycle + 1:
+            return best
+        return self.cycle + 1
 
     def next_event_cycle(self) -> int | None:
         """Subclass horizon hook: earliest future cycle the subclass's

@@ -141,6 +141,16 @@ def run_lanes(cores, chunk: int = DEFAULT_CHUNK) -> list:
         # leaps already overshot it are skipped for free, and no slice
         # is wasted on a region where every live clock has moved past.
         horizon = chunk + min(clocks[lane] for lane in live)
+        # Joint leap: no live lane can act before the min of the lanes'
+        # own event horizons (the provably-complete per-lane scan), so
+        # the boundary never lands inside a region where every lane is
+        # stalled.  For leap-enabled lanes this is subsumed — each lane
+        # leaps past dead regions internally regardless of the boundary
+        # — but it keeps small-chunk and reference-mode (``leap=False``)
+        # batches from slicing through cycles nobody can use.
+        joint = min(cores[lane].leap_horizon() for lane in live)
+        if joint > horizon:
+            horizon = joint
         with obs_trace.span("batch.wavefront", lanes=n, live=len(live),
                             boundary=int(horizon)):
             for lane in live:

@@ -81,9 +81,11 @@ from .fingerprint import fingerprint
 #: v2: results carry per-phase attribution buckets (``phases``).
 STORE_SCHEMA = 2
 
-#: Timing-semantics tag ("eh2" = the PR 2 event-horizon engine).  Bump
-#: in the same commit that regenerates tests/engine/golden_stats.json.
-ENGINE_VERSION = "eh2"
+#: Timing-semantics tag.  Bump in the same commit that regenerates
+#: tests/engine/golden_stats.json.  History: "eh2" = the PR 2
+#: event-horizon engine; "eh3" = the provably-complete horizon set
+#: (leap == stepped on every cell; KNOWN_DIVERGENT emptied).
+ENGINE_VERSION = "eh3"
 
 #: ``REPRO_STORE`` values that disable the store (anything else is on).
 _FALSEY = frozenset(("0", "false", "no", "off"))

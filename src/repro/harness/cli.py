@@ -657,9 +657,17 @@ def cmd_run(args) -> None:
             f"`repro run` takes exactly one workload; {args.kernel!r} "
             f"resolved to {len(resolved)}"
         )
+    store = None
+    if args.no_leap:
+        # Reference mode: every core steps cycle-by-cycle.  The results
+        # are identical by the leap contract, but the run exists to
+        # *check* that contract, so it must neither read memoised
+        # leap-mode records nor write slow-path ones back.
+        os.environ["REPRO_NO_LEAP"] = "1"
+        store = False
     report = _report()
     runs = run_workload(resolved[0], models=models, config=config,
-                        report=report)
+                        store=store, report=report)
     _emit_report(report)
     baseline = runs.get("in-order")
     for model, result in runs.items():
@@ -720,6 +728,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suite kernel name or a generated workload name "
                         "(preload its spec file with -w @file.json)")
     p.add_argument("model", choices=MODELS + ("all",))
+    p.add_argument("--no-leap", action="store_true", dest="no_leap",
+                   help="cycle-by-cycle reference mode: disable the "
+                        "event-horizon leap (sets REPRO_NO_LEAP=1 and "
+                        "bypasses the result store for this run)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("wgen", help="generate / characterize workloads")

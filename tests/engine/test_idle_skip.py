@@ -3,7 +3,13 @@
 Every model's cycle count with leaping enabled must equal a
 cycle-by-cycle simulation.  This is the load-bearing guard for the
 `_leap_to_horizon` machinery (a leap past a wake-up event would change
-reported performance, not just speed)."""
+reported performance, not just speed).
+
+The cycle-by-cycle side runs in first-class reference mode
+(``CoreModel(..., leap=False)``, or ``REPRO_NO_LEAP=1`` process-wide):
+the leap machinery is disabled up front instead of monkeypatched away,
+so the reference engine is exactly the shipped engine minus the leap.
+"""
 
 import pytest
 
@@ -12,12 +18,6 @@ from repro.core.icfp import ICFPCore, ICFPFeatures
 from repro.functional import run_program
 from repro.isa import Assembler, R, assemble_text
 from repro.pipeline import MachineConfig
-
-
-def no_skip(core):
-    assert hasattr(core, "_leap_to_horizon")
-    core._leap_to_horizon = lambda: None
-    return core
 
 
 def programs():
@@ -63,16 +63,43 @@ MODELS = [
 ]
 
 
+def assert_stats_equal(fast, slow, label):
+    """Full timing-visible equivalence: cycles and everything that
+    commits or touches the hierarchy must match the reference engine."""
+    assert fast.cycles == slow.cycles, label
+    assert fast.instructions == slow.instructions, label
+    assert fast.stats.loads == slow.stats.loads, label
+    assert fast.stats.stores == slow.stats.stores, label
+    assert fast.stats.branches == slow.stats.branches, label
+    assert fast.stats.l1d_misses == slow.stats.l1d_misses, label
+    assert fast.stats.l2_misses == slow.stats.l2_misses, label
+
+
 @pytest.mark.parametrize("cls,kwargs", MODELS,
                          ids=[c.__name__ for c, _ in MODELS])
 def test_idle_skip_is_timing_neutral(cls, kwargs):
     for program in programs():
         trace = run_program(program)
         fast = cls(trace, config=MachineConfig.hpca09(), **kwargs).run()
-        slow_core = no_skip(cls(trace, config=MachineConfig.hpca09(), **kwargs))
+        slow_core = cls(trace, config=MachineConfig.hpca09(), leap=False,
+                        **kwargs)
+        assert slow_core._leap is False
         slow = slow_core.run()
-        assert fast.cycles == slow.cycles, program.name
-        assert fast.instructions == slow.instructions
+        assert_stats_equal(fast, slow, program.name)
+
+
+def test_reference_mode_env_var(monkeypatch):
+    """``REPRO_NO_LEAP=1`` forces reference mode without code changes
+    (the `repro run --no-leap` path sets exactly this)."""
+    monkeypatch.setenv("REPRO_NO_LEAP", "1")
+    trace = run_program(next(programs()))
+    core = InOrderCore(trace, config=MachineConfig.hpca09())
+    assert core._leap is False
+    # An explicit constructor argument still wins over the environment.
+    monkeypatch.setenv("REPRO_NO_LEAP", "0")
+    assert InOrderCore(trace, config=MachineConfig.hpca09())._leap is True
+    assert InOrderCore(trace, config=MachineConfig.hpca09(),
+                       leap=False)._leap is False
 
 
 #: Fixed budget for the suite-kernel variant below — deliberately
@@ -85,21 +112,16 @@ SUITE_BUDGET = 2500
 
 SUITE_KERNELS = ("mcf_like", "equake_like")
 
-#: Latent divergence this test exposed (pre-existing — reproduced on
-#: the untouched parent tree): in the advance/rally models the leap can
-#: defer wake-ups that the horizon set does not export (e.g. iCFP's
-#: stale-rally re-queue only runs on a *stepped* cycle), so a handful
-#: of cells differ from a cycle-by-cycle simulation outside the pinned
-#: golden grids.  See ROADMAP "Event-horizon leap audit".  Each cell
-#: here is asserted to *still* diverge, so a future leap fix fails this
-#: test loudly and the set shrinks with it (regenerate golden fixtures
-#: and bump ENGINE_VERSION in that same commit).
-KNOWN_DIVERGENT = {
-    ("mcf_like", "MultipassCore"),
-    ("equake_like", "RunaheadCore"),
-    ("equake_like", "MultipassCore"),
-    ("equake_like", "ICFPCore"),
-}
+#: Empty — and the point of the exercise.  The horizon set exported by
+#: ``CoreModel._scan_horizons`` (plus each model's ``_head_wakeup`` /
+#: ``next_event_cycle`` overrides) is provably complete: every cell of
+#: the leap-vs-stepped differential matches on full stats, including
+#: the advance/rally models whose deferred wake-ups (iCFP's stale-rally
+#: re-queue, fallback-mode flips, rally-pass endings) once escaped it.
+#: ``make leap-audit`` sweeps all 24 kernels x 5 models to keep it
+#: empty; if a cell ever lands here again, treat it as a regression in
+#: the horizon contract, not a fact to record.
+KNOWN_DIVERGENT = frozenset()
 
 
 @pytest.mark.slow
@@ -110,26 +132,9 @@ def test_idle_skip_is_timing_neutral_on_suite_kernels(cls, kwargs, kernel):
     """Leap equivalence over real miss-heavy suite kernels (full stats)."""
     from repro.workloads import trace_by_name
 
+    assert (kernel, cls.__name__) not in KNOWN_DIVERGENT
     trace = trace_by_name(kernel, SUITE_BUDGET)
     fast = cls(trace, config=MachineConfig.hpca09(), **kwargs).run()
-    slow = no_skip(cls(trace, config=MachineConfig.hpca09(), **kwargs)).run()
-    if (kernel, cls.__name__) in KNOWN_DIVERGENT:
-        assert fast.cycles != slow.cycles, (
-            f"{kernel}/{cls.__name__} used to diverge between the leap "
-            "and cycle-by-cycle engines and now matches — remove it from "
-            "KNOWN_DIVERGENT (and close out the ROADMAP leap-audit item "
-            "if the set is empty)"
-        )
-        return
-    # The leap contract covers the timing-visible outcome: cycles and
-    # everything that commits or touches the hierarchy.  Speculative
-    # work counters (advance/rally instructions) may legitimately shift
-    # a little — work done inside a dead stall window can reorder
-    # without changing when anything completes.
-    assert fast.cycles == slow.cycles, kernel
-    assert fast.instructions == slow.instructions
-    assert fast.stats.loads == slow.stats.loads
-    assert fast.stats.stores == slow.stats.stores
-    assert fast.stats.branches == slow.stats.branches
-    assert fast.stats.l1d_misses == slow.stats.l1d_misses
-    assert fast.stats.l2_misses == slow.stats.l2_misses
+    slow = cls(trace, config=MachineConfig.hpca09(), leap=False,
+               **kwargs).run()
+    assert_stats_equal(fast, slow, f"{kernel}/{cls.__name__}")

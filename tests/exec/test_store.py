@@ -79,7 +79,7 @@ def test_schema_or_engine_bump_invalidates_cleanly(tmp_path):
     fp = jobs[0].fingerprint
     ResultStore(root).put_result(fp, results[0])
 
-    bumped_engine = ResultStore(root, engine_version="eh3")
+    bumped_engine = ResultStore(root, engine_version=ENGINE_VERSION + ".next")
     assert bumped_engine.get_result(fp) is None
     assert bumped_engine.misses == 1 and bumped_engine.corrupt == 0
 
@@ -93,6 +93,26 @@ def test_schema_or_engine_bump_invalidates_cleanly(tmp_path):
     removed = bumped_engine.gc(older_than_days=10_000)
     assert removed["stale"] == 1
     assert ResultStore(root).get_result(fp) is None
+
+
+def test_previous_engine_generation_records_are_invisible(tmp_path):
+    """Records written under the pre-bump tag ("eh2", before the horizon
+    set was provably complete) must never satisfy a lookup from the
+    current engine: their timing could embed a bad leap."""
+    root = str(tmp_path / "store")
+    jobs, results = fresh_results(models=("in-order",))
+    fp = jobs[0].fingerprint
+    ResultStore(root, engine_version="eh2").put_result(fp, results[0])
+
+    current = ResultStore(root)
+    assert current.engine_version == ENGINE_VERSION == "eh3"
+    assert current.get_result(fp) is None
+    assert current.misses == 1 and current.corrupt == 0
+    # The record is still there under its own tag (no destructive reads);
+    # only a gc from the current store's view reclaims it.
+    assert ResultStore(root, engine_version="eh2").get_result(fp) is not None
+    assert current.gc(older_than_days=10_000)["stale"] == 1
+    assert ResultStore(root, engine_version="eh2").get_result(fp) is None
 
 
 def test_gc_expires_current_records_by_age(tmp_path):
